@@ -1,0 +1,5 @@
+package lapcc_test
+
+import "math/rand"
+
+func newBenchRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

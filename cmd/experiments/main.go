@@ -1,0 +1,44 @@
+// Command experiments regenerates every experiment table in EXPERIMENTS.md
+// (E1-E8), reproducing the quantitative claims of the paper's theorems as
+// scaling measurements. See DESIGN.md section 5 for the experiment index.
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments -run E3,E5 # a subset
+//	go run ./cmd/experiments -quick     # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lapcc/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *runFlag == "all" {
+		for _, e := range experiments.All() {
+			want[e.ID] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, e := range experiments.All() {
+		if !want[e.ID] {
+			continue
+		}
+		fmt.Printf("\n================================================================\n%s\n================================================================\n", e.Title)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lapcc/internal/mcmf"
+)
+
+func TestAssignmentInstanceFeasible(t *testing.T) {
+	dg, sigma := assignmentInstance(6, 6, 3, 10, 3)
+	var sum int64
+	for _, s := range sigma {
+		sum += s
+	}
+	if sum != 0 {
+		t.Fatalf("demands sum to %d", sum)
+	}
+	if _, _, err := mcmf.Solve(dg, sigma); err != nil {
+		t.Fatalf("generated instance infeasible: %v", err)
+	}
+}
+
+func TestReadArcsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arcs.txt")
+	if err := os.WriteFile(path, []byte("0 1 5 2\n1 2 3\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := readArcs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.N() != 3 || dg.M() != 2 {
+		t.Fatalf("n=%d m=%d", dg.N(), dg.M())
+	}
+	if _, err := readArcs(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

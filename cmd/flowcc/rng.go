@@ -1,0 +1,5 @@
+package main
+
+import "math/rand"
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

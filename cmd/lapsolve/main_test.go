@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"regular", "grid", "complete"} {
+		g, err := generate(kind, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 30 {
+			t.Fatalf("%s: n = %d < 30", kind, g.N())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: disconnected", kind)
+		}
+	}
+	if _, err := generate("nope", 10); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestReadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("# test\n0 1 2\n1 2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	g, err := readGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := readGraph(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

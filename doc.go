@@ -1,0 +1,19 @@
+// Package lapcc is a from-scratch Go reproduction of "Brief Announcement:
+// The Laplacian Paradigm in Deterministic Congested Clique" (Sebastian
+// Forster and Tijn de Vos, PODC 2023, arXiv:2304.02315).
+//
+// The paper's results — a deterministic n^{o(1)} log(U/eps)-round Laplacian
+// solver (Theorem 1.1), an m^{3/7+o(1)} U^{1/7}-round exact maximum flow
+// (Theorem 1.2), an Õ(m^{3/7}(n^{0.158} + polylog W))-round unit-capacity
+// minimum cost flow (Theorem 1.3), and an O(log n log* n)-round Eulerian
+// orientation (Theorem 1.4) — are implemented on a congested-clique
+// simulator that executes real message passing for the communication
+// primitives and charges cited black-box costs through an auditable
+// round ledger.
+//
+// Start at internal/core for the public facade, DESIGN.md for the system
+// inventory and substitution notes, and EXPERIMENTS.md for the measured
+// reproduction of every quantitative claim. The benchmarks in this
+// directory (bench_test.go) regenerate each experiment as a testing.B
+// benchmark with rounds reported as custom metrics.
+package lapcc

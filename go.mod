@@ -1,0 +1,3 @@
+module lapcc
+
+go 1.22

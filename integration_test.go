@@ -1,0 +1,159 @@
+package lapcc_test
+
+// End-to-end integration scenarios across the whole stack, exercising the
+// public facade exactly as a downstream user would (see README quickstart).
+
+import (
+	"math"
+	"testing"
+
+	"lapcc/internal/core"
+	"lapcc/internal/euler"
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+	"lapcc/internal/maxflow"
+	"lapcc/internal/mcmf"
+)
+
+// TestScenarioElectricalToFlow runs the two halves of the paper back to
+// back on one graph family: first Laplacian solving on the undirected
+// support, then exact max flow on a directed version — confirming the
+// shared substrate works for both consumers.
+func TestScenarioElectricalToFlow(t *testing.T) {
+	// Undirected half: solve for potentials on a 2-cluster topology.
+	g, err := graph.TwoClusters(24, 4, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(g.N())
+	b[0] = 1
+	b[g.N()-1] = -1
+	lres, err := core.SolveLaplacian(g, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := linalg.NewLaplacian(g)
+	lx := linalg.NewVec(g.N())
+	l.Apply(lx, lres.X)
+	if r := lx.Sub(b).Norm2(); r > 1e-6 {
+		t.Fatalf("laplacian residual %v", r)
+	}
+
+	// Directed half: max flow across the same two-cluster shape via a
+	// layered network.
+	dg := graph.LayeredDAG(3, 5, 2, 7, 7)
+	s, tt := 0, dg.N()-1
+	want, _, err := maxflow.Dinic(dg, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := core.MaxFlow(dg, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Value != want {
+		t.Fatalf("flow %d != oracle %d", fres.Value, want)
+	}
+	if fres.Rounds.Total <= 0 {
+		t.Fatal("no rounds accounted")
+	}
+}
+
+// TestScenarioLogisticsPipeline models a small logistics problem: route
+// supplies at min cost, then verify the same assignment by independent
+// max-flow feasibility.
+func TestScenarioLogisticsPipeline(t *testing.T) {
+	// 5 depots ship one unit each to 5 stores over a sparse cost network.
+	const depots, stores = 5, 5
+	dg := graph.NewDi(depots + stores)
+	sigma := make([]int64, depots+stores)
+	costs := []int64{4, 9, 2, 7, 5, 8, 3, 6, 1, 10, 11, 2, 9, 4, 6}
+	ci := 0
+	for d := 0; d < depots; d++ {
+		for k := 0; k < 3; k++ {
+			dg.MustAddArc(d, depots+(d+k*2)%stores, 1, costs[ci%len(costs)])
+			ci++
+		}
+		sigma[d] = 1
+		sigma[depots+d]--
+	}
+	res, err := core.MinCostFlow(dg, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracle, err := mcmf.Solve(dg, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != oracle {
+		t.Fatalf("cost %d != oracle %d", res.Cost, oracle)
+	}
+	// Feasibility cross-check: the chosen arcs form a perfect assignment,
+	// i.e. a max flow of value = number of depots in the 0/1 network.
+	used := graph.NewDi(depots + stores + 2)
+	S, T := depots+stores, depots+stores+1
+	for i, a := range dg.Arcs() {
+		if res.Flow[i] == 1 {
+			used.MustAddArc(a.From, a.To, 1, 0)
+		}
+	}
+	for d := 0; d < depots; d++ {
+		used.MustAddArc(S, d, 1, 0)
+		used.MustAddArc(depots+d, T, 1, 0)
+	}
+	value, _, err := maxflow.Dinic(used, S, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value != depots {
+		t.Fatalf("assignment routes %d of %d units", value, depots)
+	}
+}
+
+// TestScenarioRoundingChain verifies the Theorem 1.4 -> Lemma 4.2 chain on
+// a fractional flow produced by an electrical solve, mirroring how the IPMs
+// consume rounding.
+func TestScenarioRoundingChain(t *testing.T) {
+	g, err := graph.RandomEulerian(48, 10, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := core.EulerianOrient(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := euler.CheckOrientation(g, ores.Orient); v != -1 {
+		t.Fatalf("unbalanced at %d", v)
+	}
+
+	// A fractional two-path s-t flow rounded to integers.
+	dg := graph.NewDi(4)
+	dg.MustAddArc(0, 1, 4, 1)
+	dg.MustAddArc(1, 3, 4, 1)
+	dg.MustAddArc(0, 2, 4, 5)
+	dg.MustAddArc(2, 3, 4, 5)
+	f := []float64{0.625, 0.625, 0.375, 0.375}
+	rres, err := core.RoundFlow(dg, f, 0, 3, 1.0/8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var value int64
+	for _, ai := range dg.Out(0) {
+		value += rres.Flow[ai]
+	}
+	if value < 1 {
+		t.Fatalf("rounded value %d < input value 1", value)
+	}
+	// Cost-aware: the cheap path should win the rounded unit.
+	var cost float64
+	for i, a := range dg.Arcs() {
+		cost += float64(a.Cost) * float64(rres.Flow[i])
+	}
+	inputCost := 0.625*2 + 0.375*10
+	if cost > inputCost+1e-9 {
+		t.Fatalf("rounded cost %v exceeds input %v", cost, inputCost)
+	}
+	if math.IsNaN(cost) {
+		t.Fatal("nan cost")
+	}
+}

@@ -1,0 +1,66 @@
+package cc
+
+import (
+	"lapcc/internal/rounds"
+)
+
+// RouteBatched delivers an arbitrary packet set by splitting it into
+// admissible batches (every node source and destination of at most n packets
+// per batch) and routing each batch with Route. Nodes owning many virtual
+// objects (e.g. a flow-network vertex with many parallel edges) legitimately
+// need more rounds to move proportionally more messages; batching charges
+// exactly that.
+func RouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Packet, RouteResult, error) {
+	out := make([][]Packet, n)
+	var agg RouteResult
+	srcCount := make([]int, n)
+	dstCount := make([]int, n)
+	var batch []Packet
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		delivered, res, err := Route(n, batch, ledger, tag)
+		if err != nil {
+			return err
+		}
+		agg.Executed += res.Executed
+		agg.Charged += res.Charged
+		agg.LinkMessages += res.LinkMessages
+		agg.Overflowed = agg.Overflowed || res.Overflowed
+		for d := 0; d < n; d++ {
+			out[d] = append(out[d], delivered[d]...)
+		}
+		batch = batch[:0]
+		for i := range srcCount {
+			srcCount[i] = 0
+			dstCount[i] = 0
+		}
+		return nil
+	}
+
+	for _, p := range packets {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			// Let Route produce the canonical error for bad endpoints.
+			if err := flush(); err != nil {
+				return nil, agg, err
+			}
+			if _, _, err := Route(n, []Packet{p}, nil, tag); err != nil {
+				return nil, agg, err
+			}
+		}
+		if srcCount[p.Src] >= n || dstCount[p.Dst] >= n {
+			if err := flush(); err != nil {
+				return nil, agg, err
+			}
+		}
+		srcCount[p.Src]++
+		dstCount[p.Dst]++
+		batch = append(batch, p)
+	}
+	if err := flush(); err != nil {
+		return nil, agg, err
+	}
+	return out, agg, nil
+}

@@ -1,0 +1,98 @@
+package cc
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBCCAllowsBroadcastPrograms: a sum computation where every node
+// announces its value to all others is legal BCC and takes one round.
+func TestBCCAllowsBroadcastPrograms(t *testing.T) {
+	n := 6
+	e := NewEngine(n)
+	e.SetBroadcastOnly(true)
+	sums := make([]int64, n)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		switch round {
+		case 0:
+			for v := 0; v < n; v++ {
+				if v != node {
+					send(v, int64(node+1)) // same word to everyone
+				}
+			}
+			return false
+		default:
+			s := int64(node + 1)
+			for _, m := range inbox {
+				s += m.Data[0]
+			}
+			sums[node] = s
+			return true
+		}
+	}
+	used, err := e.Run(step, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 1 {
+		t.Fatalf("broadcast sum used %d rounds, want 1", used)
+	}
+	want := int64(n * (n + 1) / 2)
+	for v := 0; v < n; v++ {
+		if sums[v] != want {
+			t.Fatalf("node %d computed %d, want %d", v, sums[v], want)
+		}
+	}
+}
+
+// TestBCCRejectsPointToPoint: the unicast pattern the congested clique
+// allows — distinct messages to distinct peers — violates BCC. This is the
+// §1.1 observation that Lenzen-routing-based algorithms (Eulerian
+// orientation, flow rounding) have no direct BCC implementation.
+func TestBCCRejectsPointToPoint(t *testing.T) {
+	e := NewEngine(4)
+	e.SetBroadcastOnly(true)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 10)
+			send(2, 20) // different payload: not a broadcast
+		}
+		return true
+	}
+	if _, err := e.Run(step, 3); !errors.Is(err, ErrNotBroadcast) {
+		t.Fatalf("error = %v, want ErrNotBroadcast", err)
+	}
+}
+
+// TestBCCPartialBroadcastAllowed: sending the same word to a subset is
+// fine (a node may stay silent toward some peers; the restriction is on
+// message content, not fan-out).
+func TestBCCPartialBroadcastAllowed(t *testing.T) {
+	e := NewEngine(4)
+	e.SetBroadcastOnly(true)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 7)
+			send(3, 7)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBCCOffByDefault: without the flag, distinct messages are legal.
+func TestBCCOffByDefault(t *testing.T) {
+	e := NewEngine(4)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 1)
+			send(2, 2)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 3); err != nil {
+		t.Fatal(err)
+	}
+}

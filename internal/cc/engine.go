@@ -1,0 +1,165 @@
+// Package cc simulates the congested clique model of Lotker, Patt-Shamir,
+// Pavlov, and Peleg [LPSPP05]: n processors communicate in synchronous
+// rounds, and in each round every ordered pair of nodes may exchange one
+// message of O(log n) bits.
+//
+// The simulator enforces the model's two constraints — at most one message
+// per ordered pair per round, and a bounded number of machine words per
+// message (a constant number of words is O(log n) bits for any realistic n)
+// — and counts rounds. Algorithms are expressed as per-node step functions;
+// the engine runs them in lockstep and delivers messages at round
+// boundaries, exactly as the synchronous model prescribes.
+package cc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxWords is the default per-message budget in 64-bit words. Three
+// words comfortably encode (tag, key, value) triples and is O(log n) bits.
+const DefaultMaxWords = 3
+
+// Message is a message delivered to a node at the start of a round.
+type Message struct {
+	From int
+	Data []int64
+}
+
+// Step is a per-node program step. The engine calls it once per node per
+// round with the messages that arrived at the start of the round. The node
+// sends messages via send (delivered at the start of the next round) and
+// returns true when it is done. A node that has returned done is still shown
+// late-arriving messages and may resume work by returning false again.
+type Step func(node, round int, inbox []Message, send func(to int, data ...int64)) (done bool)
+
+// Engine runs step-function programs on a simulated clique.
+type Engine struct {
+	n         int
+	maxWords  int
+	rounds    int64
+	messages  int64
+	broadcast bool
+}
+
+// Model violations are errors, not panics: an algorithm exceeding the
+// bandwidth budget is a bug the tests assert on ("failure injection" for
+// this non-faulty model).
+var (
+	// ErrMessageTooWide reports a message exceeding the per-message word budget.
+	ErrMessageTooWide = errors.New("cc: message exceeds word budget")
+	// ErrDuplicatePair reports two messages on the same ordered pair in one round.
+	ErrDuplicatePair = errors.New("cc: more than one message on an ordered pair in one round")
+	// ErrBadRecipient reports a send to an out-of-range node.
+	ErrBadRecipient = errors.New("cc: recipient out of range")
+	// ErrRoundLimit reports that a program exceeded its round budget.
+	ErrRoundLimit = errors.New("cc: round limit exceeded")
+	// ErrNotBroadcast reports distinct per-recipient messages in Broadcast
+	// Congested Clique mode.
+	ErrNotBroadcast = errors.New("cc: node sent distinct messages in one round (BCC mode)")
+)
+
+// NewEngine returns a clique of n nodes with the default message width.
+func NewEngine(n int) *Engine {
+	return &Engine{n: n, maxWords: DefaultMaxWords}
+}
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.n }
+
+// Rounds returns the number of communication rounds executed so far.
+func (e *Engine) Rounds() int64 { return e.rounds }
+
+// Messages returns the total number of messages delivered so far — the
+// message-complexity counterpart to Rounds.
+func (e *Engine) Messages() int64 { return e.messages }
+
+// SetMaxWords overrides the per-message word budget (for tests).
+func (e *Engine) SetMaxWords(w int) { e.maxWords = w }
+
+// SetBroadcastOnly switches the engine into the Broadcast Congested Clique
+// model [DKO12]: in each round, every node must send the *same* message to
+// all other nodes. The paper's section 1.1 discusses why Eulerian
+// orientation — and hence flow rounding — seems hard under this
+// restriction; the simulator makes the restriction checkable.
+func (e *Engine) SetBroadcastOnly(b bool) { e.broadcast = b }
+
+// Run executes the program until every node reports done in the same round
+// and no messages are in flight, or until maxRounds communication rounds
+// have been used. It returns the number of rounds consumed by this run.
+func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
+	inboxes := make([][]Message, e.n)
+	start := e.rounds
+	for r := 0; ; r++ {
+		if int64(r) >= int64(maxRounds) {
+			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
+		}
+		next := make([][]Message, e.n)
+		sentPair := make(map[[2]int]bool)
+		firstData := make(map[int][]int64) // BCC: the round's message per node
+		var sendErr error
+		allDone := true
+		anySent := false
+		for v := 0; v < e.n; v++ {
+			node := v
+			send := func(to int, data ...int64) {
+				if sendErr != nil {
+					return
+				}
+				if to < 0 || to >= e.n || to == node {
+					sendErr = fmt.Errorf("%w: node %d -> %d (n=%d)", ErrBadRecipient, node, to, e.n)
+					return
+				}
+				if len(data) > e.maxWords {
+					sendErr = fmt.Errorf("%w: node %d sent %d words (budget %d)",
+						ErrMessageTooWide, node, len(data), e.maxWords)
+					return
+				}
+				if e.broadcast {
+					if prev, ok := firstData[node]; ok {
+						if !equalWords(prev, data) {
+							sendErr = fmt.Errorf("%w: node %d in round %d", ErrNotBroadcast, node, r)
+							return
+						}
+					} else {
+						firstData[node] = append([]int64(nil), data...)
+					}
+				}
+				key := [2]int{node, to}
+				if sentPair[key] {
+					sendErr = fmt.Errorf("%w: %d -> %d in round %d", ErrDuplicatePair, node, to, r)
+					return
+				}
+				sentPair[key] = true
+				anySent = true
+				e.messages++
+				next[to] = append(next[to], Message{From: node, Data: append([]int64(nil), data...)})
+			}
+			if !step(node, r, inboxes[v], send) {
+				allDone = false
+			}
+			if sendErr != nil {
+				return e.rounds - start, sendErr
+			}
+		}
+		if allDone && !anySent {
+			// The final step consumed no communication; it is internal
+			// computation and costs no round.
+			return e.rounds - start, nil
+		}
+		e.rounds++
+		inboxes = next
+	}
+}
+
+func equalWords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

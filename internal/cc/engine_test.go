@@ -1,0 +1,162 @@
+package cc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineBroadcastProgram(t *testing.T) {
+	// Node 0 broadcasts a value; every node records it; 1 round total.
+	n := 8
+	e := NewEngine(n)
+	got := make([]int64, n)
+	got[0] = 42
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		switch round {
+		case 0:
+			if node == 0 {
+				for v := 1; v < n; v++ {
+					send(v, 42)
+				}
+			}
+			return node == 0
+		default:
+			for _, m := range inbox {
+				got[node] = m.Data[0]
+			}
+			return true
+		}
+	}
+	used, err := e.Run(step, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 1 {
+		t.Fatalf("broadcast used %d rounds, want 1", used)
+	}
+	for v := 0; v < n; v++ {
+		if got[v] != 42 {
+			t.Fatalf("node %d missed broadcast: %d", v, got[v])
+		}
+	}
+}
+
+func TestEngineAllToAllInOneRound(t *testing.T) {
+	// Every ordered pair exchanges a message simultaneously: legal in the
+	// clique, must cost exactly one round.
+	n := 6
+	e := NewEngine(n)
+	received := make([]int, n)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round == 0 {
+			for v := 0; v < n; v++ {
+				if v != node {
+					send(v, int64(node))
+				}
+			}
+			return false
+		}
+		received[node] = len(inbox)
+		return true
+	}
+	used, err := e.Run(step, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 1 {
+		t.Fatalf("all-to-all used %d rounds, want 1", used)
+	}
+	for v := 0; v < n; v++ {
+		if received[v] != n-1 {
+			t.Fatalf("node %d received %d messages, want %d", v, received[v], n-1)
+		}
+	}
+}
+
+func TestEngineRejectsDuplicatePair(t *testing.T) {
+	e := NewEngine(3)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 1)
+			send(1, 2) // second message on the same ordered pair: violation
+		}
+		return true
+	}
+	if _, err := e.Run(step, 5); !errors.Is(err, ErrDuplicatePair) {
+		t.Fatalf("error = %v, want ErrDuplicatePair", err)
+	}
+}
+
+func TestEngineRejectsWideMessage(t *testing.T) {
+	e := NewEngine(3)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 1, 2, 3, 4) // exceeds DefaultMaxWords = 3
+		}
+		return true
+	}
+	if _, err := e.Run(step, 5); !errors.Is(err, ErrMessageTooWide) {
+		t.Fatalf("error = %v, want ErrMessageTooWide", err)
+	}
+}
+
+func TestEngineRejectsBadRecipient(t *testing.T) {
+	for _, to := range []int{-1, 3, 0} { // 0 is a self-send from node 0
+		e := NewEngine(3)
+		step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+			if node == 0 && round == 0 {
+				send(to, 1)
+			}
+			return true
+		}
+		if _, err := e.Run(step, 5); !errors.Is(err, ErrBadRecipient) {
+			t.Fatalf("send to %d: error = %v, want ErrBadRecipient", to, err)
+		}
+	}
+}
+
+func TestEngineRoundLimit(t *testing.T) {
+	e := NewEngine(2)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		send(1-node, int64(round)) // ping forever
+		return false
+	}
+	if _, err := e.Run(step, 7); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("error = %v, want ErrRoundLimit", err)
+	}
+	if e.Rounds() != 7 {
+		t.Fatalf("rounds = %d, want 7", e.Rounds())
+	}
+}
+
+func TestEngineZeroRoundProgram(t *testing.T) {
+	// Pure internal computation: all nodes done immediately, no sends.
+	e := NewEngine(4)
+	used, err := e.Run(func(int, int, []Message, func(int, ...int64)) bool { return true }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 0 {
+		t.Fatalf("internal-only program used %d rounds, want 0", used)
+	}
+}
+
+func TestEngineAccumulatesAcrossRuns(t *testing.T) {
+	e := NewEngine(2)
+	ping := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 7)
+			return false
+		}
+		return true
+	}
+	if _, err := e.Run(ping, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(ping, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds() != 2 {
+		t.Fatalf("cumulative rounds = %d, want 2", e.Rounds())
+	}
+}

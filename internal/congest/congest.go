@@ -1,0 +1,194 @@
+// Package congest simulates the CONGEST model [Pel00] — the paper's §2.1
+// contrast to the congested clique: nodes may exchange O(log n)-bit
+// messages only with their *neighbors in the input topology*, one per edge
+// per round. The §1.1 comparisons (and experiment E9) rest on CONGEST
+// algorithms paying sqrt(n) + D per phase where the clique pays O(1); this
+// package makes the D-dependence measurable rather than merely charged.
+//
+// The engine mirrors internal/cc's step-function interface so algorithms
+// read the same way; the only change is the topology restriction. A
+// distributed BFS (the primitive under every D-term in the cited CONGEST
+// bounds) ships with it.
+package congest
+
+import (
+	"errors"
+	"fmt"
+
+	"lapcc/internal/graph"
+)
+
+// DefaultMaxWords matches the congested-clique message budget: a constant
+// number of 64-bit words is O(log n) bits.
+const DefaultMaxWords = 3
+
+// Message is a message delivered to a node at the start of a round.
+type Message struct {
+	From int
+	Data []int64
+}
+
+// Step is a per-node program step, as in internal/cc; sends are restricted
+// to topology neighbors.
+type Step func(node, round int, inbox []Message, send func(to int, data ...int64)) (done bool)
+
+// Engine runs step programs over a fixed topology.
+type Engine struct {
+	g        *graph.Graph
+	neighbor []map[int]bool
+	maxWords int
+	rounds   int64
+	messages int64
+}
+
+// Model violations, as in internal/cc.
+var (
+	// ErrNotNeighbor reports a send to a non-adjacent node — the defining
+	// CONGEST restriction.
+	ErrNotNeighbor = errors.New("congest: recipient is not a topology neighbor")
+	// ErrMessageTooWide reports a message exceeding the word budget.
+	ErrMessageTooWide = errors.New("congest: message exceeds word budget")
+	// ErrDuplicatePair reports two messages on one ordered pair in a round.
+	ErrDuplicatePair = errors.New("congest: more than one message per edge direction per round")
+	// ErrRoundLimit reports an exceeded round budget.
+	ErrRoundLimit = errors.New("congest: round limit exceeded")
+)
+
+// NewEngine returns a CONGEST network over the given topology.
+func NewEngine(g *graph.Graph) *Engine {
+	nb := make([]map[int]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		nb[v] = make(map[int]bool, g.Degree(v))
+		for _, h := range g.Adj(v) {
+			nb[v][h.To] = true
+		}
+	}
+	return &Engine{g: g, neighbor: nb, maxWords: DefaultMaxWords}
+}
+
+// Rounds returns the rounds executed so far.
+func (e *Engine) Rounds() int64 { return e.rounds }
+
+// Messages returns the messages delivered so far.
+func (e *Engine) Messages() int64 { return e.messages }
+
+// Run executes the program to quiescence or the round budget, returning
+// rounds consumed by this run.
+func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
+	n := e.g.N()
+	inboxes := make([][]Message, n)
+	start := e.rounds
+	for r := 0; ; r++ {
+		if r >= maxRounds {
+			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
+		}
+		next := make([][]Message, n)
+		sentPair := make(map[[2]int]bool)
+		var sendErr error
+		allDone := true
+		anySent := false
+		for v := 0; v < n; v++ {
+			node := v
+			send := func(to int, data ...int64) {
+				if sendErr != nil {
+					return
+				}
+				if to < 0 || to >= n || !e.neighbor[node][to] {
+					sendErr = fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, node, to)
+					return
+				}
+				if len(data) > e.maxWords {
+					sendErr = fmt.Errorf("%w: node %d sent %d words", ErrMessageTooWide, node, len(data))
+					return
+				}
+				key := [2]int{node, to}
+				if sentPair[key] {
+					sendErr = fmt.Errorf("%w: %d -> %d in round %d", ErrDuplicatePair, node, to, r)
+					return
+				}
+				sentPair[key] = true
+				anySent = true
+				e.messages++
+				next[to] = append(next[to], Message{From: node, Data: append([]int64(nil), data...)})
+			}
+			if !step(node, r, inboxes[v], send) {
+				allDone = false
+			}
+			if sendErr != nil {
+				return e.rounds - start, sendErr
+			}
+		}
+		if allDone && !anySent {
+			return e.rounds - start, nil
+		}
+		e.rounds++
+		inboxes = next
+	}
+}
+
+// BFSResult reports a distributed BFS.
+type BFSResult struct {
+	// Dist[v] is the hop distance from the source (-1 if unreachable).
+	Dist []int64
+	// Rounds is the number of CONGEST rounds used: the eccentricity of the
+	// source plus one quiescence round — the "D" in every §1.1 CONGEST
+	// bound, measured.
+	Rounds int64
+}
+
+// BFS runs the textbook distributed breadth-first search from source: the
+// frontier floods distance announcements along topology edges.
+func BFS(g *graph.Graph, source int) (*BFSResult, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("congest: source %d out of range (n=%d)", source, g.N())
+	}
+	n := g.N()
+	e := NewEngine(g)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	announced := make([]bool, n)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		for _, m := range inbox {
+			if d := m.Data[0] + 1; dist[node] == -1 || d < dist[node] {
+				dist[node] = d
+			}
+		}
+		if dist[node] >= 0 && !announced[node] {
+			announced[node] = true
+			for _, h := range g.Adj(node) {
+				send(h.To, dist[node])
+			}
+			return false
+		}
+		return true
+	}
+	used, err := e.Run(step, 4*n+8)
+	if err != nil {
+		return nil, err
+	}
+	return &BFSResult{Dist: dist, Rounds: used}, nil
+}
+
+// Diameter returns the hop diameter of a connected graph by running BFS
+// from every vertex (a measurement utility, not a distributed algorithm).
+func Diameter(g *graph.Graph) (int64, error) {
+	var diam int64
+	for s := 0; s < g.N(); s++ {
+		res, err := BFS(g, s)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range res.Dist {
+			if d < 0 {
+				return 0, errors.New("congest: graph is disconnected")
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, nil
+}

@@ -1,0 +1,174 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/shortestpath"
+)
+
+func TestEngineRejectsNonNeighborSend(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3: 0 and 3 are not adjacent
+	e := NewEngine(g)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(3, 1)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 5); !errors.Is(err, ErrNotNeighbor) {
+		t.Fatalf("error = %v, want ErrNotNeighbor", err)
+	}
+}
+
+func TestEngineAllowsNeighborExchange(t *testing.T) {
+	g := graph.Path(3)
+	e := NewEngine(g)
+	got := make([]int64, 3)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round == 0 {
+			for _, h := range g.Adj(node) {
+				send(h.To, int64(node))
+			}
+			return false
+		}
+		for _, m := range inbox {
+			got[node] += m.Data[0] + 1
+		}
+		return true
+	}
+	used, err := e.Run(step, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 1 {
+		t.Fatalf("used %d rounds, want 1", used)
+	}
+	if got[1] != (0+1)+(2+1) {
+		t.Fatalf("middle node received %d", got[1])
+	}
+	if e.Messages() != 4 {
+		t.Fatalf("messages = %d, want 4", e.Messages())
+	}
+}
+
+func TestEngineDuplicateEdgeMessage(t *testing.T) {
+	g := graph.Path(2)
+	e := NewEngine(g)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 1)
+			send(1, 2)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 3); !errors.Is(err, ErrDuplicatePair) {
+		t.Fatalf("error = %v, want ErrDuplicatePair", err)
+	}
+}
+
+func TestBFSPathDistances(t *testing.T) {
+	g := graph.Path(6)
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if res.Dist[v] != int64(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], v)
+		}
+	}
+	// BFS rounds track the eccentricity (5) plus quiescence slack.
+	if res.Rounds < 5 || res.Rounds > 8 {
+		t.Fatalf("BFS used %d rounds on a path of eccentricity 5", res.Rounds)
+	}
+}
+
+func TestBFSMatchesCentralizedOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := graph.ConnectedGNM(20, 35, seed)
+		if err != nil {
+			return false
+		}
+		res, err := BFS(g, 0)
+		if err != nil {
+			return false
+		}
+		adj := make([][]shortestpath.Arc, g.N())
+		for _, e := range g.Edges() {
+			adj[e.U] = append(adj[e.U], shortestpath.Arc{To: e.V, Weight: 1})
+			adj[e.V] = append(adj[e.V], shortestpath.Arc{To: e.U, Weight: 1})
+		}
+		want := shortestpath.BFS(adj, []int{0})
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v] != want.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != -1 || res.Dist[3] != -1 {
+		t.Fatalf("dist = %v", res.Dist)
+	}
+}
+
+// The point of the package: CONGEST pays the diameter where the clique pays
+// O(1). On a path, BFS rounds grow linearly with n; on an expander of the
+// same size they stay logarithmic.
+func TestDiameterDependenceMeasured(t *testing.T) {
+	path := graph.Path(128)
+	pres, err := BFS(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := graph.RandomRegular(128, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := BFS(exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BFS rounds: path n=128 -> %d, expander n=128 -> %d", pres.Rounds, eres.Rounds)
+	if pres.Rounds < 100 {
+		t.Fatalf("path BFS used %d rounds; expected ~n", pres.Rounds)
+	}
+	if eres.Rounds > 12 {
+		t.Fatalf("expander BFS used %d rounds; expected ~log n", eres.Rounds)
+	}
+}
+
+func TestDiameterUtility(t *testing.T) {
+	d, err := Diameter(graph.Path(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9 {
+		t.Fatalf("path diameter = %d, want 9", d)
+	}
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	if _, err := Diameter(g); err == nil {
+		t.Fatal("disconnected diameter should error")
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	if _, err := BFS(graph.Path(3), 7); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

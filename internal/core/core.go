@@ -1,0 +1,203 @@
+// Package core is the public facade of the library: one entry point per
+// headline result of "The Laplacian Paradigm in Deterministic Congested
+// Clique" (Forster & de Vos, PODC 2023), each returning both the answer and
+// a round report.
+//
+//   - SolveLaplacian   — Theorem 1.1: n^{o(1)} log(U/eps)-round solver
+//   - MaxFlow          — Theorem 1.2: m^{3/7+o(1)} U^{1/7}-round max flow
+//   - MinCostFlow      — Theorem 1.3: Õ(m^{3/7}(n^0.158 + polylog W)) rounds
+//   - EulerianOrient   — Theorem 1.4: O(log n log* n) rounds
+//   - Sparsify         — Theorem 3.3: deterministic spectral sparsifier
+//   - RoundFlow        — Lemma 4.2: Cohen rounding in O(log n log* n log(1/Δ))
+//
+// Lower-level control (options, ablations, oracles, baselines) lives in the
+// internal packages; this facade wires them together with a shared ledger.
+package core
+
+import (
+	"lapcc/internal/euler"
+	"lapcc/internal/flowround"
+	"lapcc/internal/graph"
+	"lapcc/internal/lapsolver"
+	"lapcc/internal/linalg"
+	"lapcc/internal/maxflow"
+	"lapcc/internal/mcmf"
+	"lapcc/internal/rounds"
+	"lapcc/internal/sparsify"
+)
+
+// RoundReport summarizes where an algorithm's congested-clique rounds went.
+type RoundReport struct {
+	// Total is the total number of rounds.
+	Total int64
+	// Measured is the part executed by the message-passing simulator.
+	Measured int64
+	// Charged is the part charged per cited theorems (see DESIGN.md).
+	Charged int64
+	// Breakdown is the human-readable ledger dump.
+	Breakdown string
+}
+
+func report(led *rounds.Ledger) RoundReport {
+	return RoundReport{
+		Total:     led.Total(),
+		Measured:  led.TotalOf(rounds.Measured),
+		Charged:   led.TotalOf(rounds.Charged),
+		Breakdown: led.Report(),
+	}
+}
+
+// LaplacianResult is the output of SolveLaplacian.
+type LaplacianResult struct {
+	// X approximates L_G^+ b with ||X - L^+b||_L <= eps ||L^+b||_L.
+	X linalg.Vec
+	// Iterations is the Chebyshev iteration count.
+	Iterations int
+	// SparsifierEdges is the size of the globally-known sparsifier.
+	SparsifierEdges int
+	Rounds          RoundReport
+}
+
+// SolveLaplacian solves L_G x = b to relative precision eps in the L_G
+// norm (Theorem 1.1). g must be connected with positive edge weights.
+func SolveLaplacian(g *graph.Graph, b linalg.Vec, eps float64) (*LaplacianResult, error) {
+	led := rounds.New()
+	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led})
+	if err != nil {
+		return nil, err
+	}
+	x, st, err := s.Solve(b, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &LaplacianResult{
+		X:               x,
+		Iterations:      st.Iterations,
+		SparsifierEdges: s.Sparsifier().M(),
+		Rounds:          report(led),
+	}, nil
+}
+
+// SparsifyResult is the output of Sparsify.
+type SparsifyResult struct {
+	// H is the sparsifier, known to every clique node.
+	H *graph.Graph
+	// Alpha is the measured approximation factor.
+	Alpha  float64
+	Rounds RoundReport
+}
+
+// Sparsify computes the deterministic spectral sparsifier of Theorem 3.3
+// and measures its approximation factor.
+func Sparsify(g *graph.Graph) (*SparsifyResult, error) {
+	led := rounds.New()
+	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led})
+	if err != nil {
+		return nil, err
+	}
+	alpha := 0.0
+	if g.IsConnected() {
+		alpha, err = sparsify.MeasureAlpha(g, res.H, 150)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SparsifyResult{H: res.H, Alpha: alpha, Rounds: report(led)}, nil
+}
+
+// EulerianResult is the output of EulerianOrient.
+type EulerianResult struct {
+	// Orient has one entry per edge: true = oriented U -> V.
+	Orient []bool
+	// Iterations is the number of cycle-contraction iterations (O(log n)).
+	Iterations int
+	Rounds     RoundReport
+}
+
+// EulerianOrient orients every edge of an even-degree graph so each vertex
+// has equal in- and out-degree (Theorem 1.4).
+func EulerianOrient(g *graph.Graph) (*EulerianResult, error) {
+	led := rounds.New()
+	orient, st, err := euler.Orient(g, nil, led)
+	if err != nil {
+		return nil, err
+	}
+	return &EulerianResult{Orient: orient, Iterations: st.Iterations, Rounds: report(led)}, nil
+}
+
+// RoundFlowResult is the output of RoundFlow.
+type RoundFlowResult struct {
+	// Flow is the integral flow, per arc.
+	Flow   []int64
+	Rounds RoundReport
+}
+
+// RoundFlow rounds a fractional s-t flow (values multiples of delta) to an
+// integral flow without decreasing its value (Lemma 4.2). With useCosts,
+// the cost does not increase when the input value is integral.
+func RoundFlow(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool) (*RoundFlowResult, error) {
+	led := rounds.New()
+	out, err := flowround.Round(dg, f, s, t, delta, useCosts, led)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundFlowResult{Flow: out, Rounds: report(led)}, nil
+}
+
+// MaxFlowResult is the output of MaxFlow.
+type MaxFlowResult struct {
+	// Value is the exact maximum flow value.
+	Value int64
+	// Flow is the per-arc optimal integral flow.
+	Flow []int64
+	// IPMIterations and FinalAugmentations expose the Theorem 1.2 shape.
+	IPMIterations      int
+	FinalAugmentations int
+	Rounds             RoundReport
+}
+
+// MaxFlow computes the exact maximum s-t flow (Theorem 1.2).
+func MaxFlow(dg *graph.DiGraph, s, t int) (*MaxFlowResult, error) {
+	led := rounds.New()
+	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true})
+	if err != nil {
+		return nil, err
+	}
+	return &MaxFlowResult{
+		Value:              res.Value,
+		Flow:               res.Flow,
+		IPMIterations:      res.IPMIterations,
+		FinalAugmentations: res.FinalAugmentations,
+		Rounds:             report(led),
+	}, nil
+}
+
+// MinCostFlowResult is the output of MinCostFlow.
+type MinCostFlowResult struct {
+	// Flow is the optimal per-arc 0/1 flow.
+	Flow []int64
+	// Cost is the exact minimum cost.
+	Cost int64
+	// ProgressIterations and RepairAugmentations expose the Theorem 1.3
+	// shape.
+	ProgressIterations  int
+	RepairAugmentations int
+	Rounds              RoundReport
+}
+
+// MinCostFlow routes the demand vector sigma on a unit-capacity digraph at
+// exactly minimum cost (Theorem 1.3).
+func MinCostFlow(dg *graph.DiGraph, sigma []int64) (*MinCostFlowResult, error) {
+	led := rounds.New()
+	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led})
+	if err != nil {
+		return nil, err
+	}
+	return &MinCostFlowResult{
+		Flow:                res.Flow,
+		Cost:                res.Cost,
+		ProgressIterations:  res.ProgressIterations,
+		RepairAugmentations: res.RepairAugmentations,
+		Rounds:              report(led),
+	}, nil
+}

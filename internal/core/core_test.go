@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"lapcc/internal/euler"
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+	"lapcc/internal/maxflow"
+	"lapcc/internal/mcmf"
+)
+
+func TestSolveLaplacianFacade(t *testing.T) {
+	g, err := graph.RandomRegular(48, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(48)
+	b[0], b[47] = 1, -1
+	res, err := SolveLaplacian(g, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := linalg.NewLaplacian(g)
+	lx := linalg.NewVec(48)
+	l.Apply(lx, res.X)
+	if r := lx.Sub(b).Norm2(); r > 1e-6 {
+		t.Fatalf("residual %v", r)
+	}
+	if res.Rounds.Total != res.Rounds.Measured+res.Rounds.Charged {
+		t.Fatalf("round report inconsistent: %+v", res.Rounds)
+	}
+	if res.Rounds.Total == 0 || res.SparsifierEdges == 0 {
+		t.Fatalf("suspicious report: %+v", res)
+	}
+}
+
+func TestSparsifyFacade(t *testing.T) {
+	g := graph.Complete(64)
+	res, err := Sparsify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H.M() >= g.M() {
+		t.Fatalf("sparsifier not smaller: %d >= %d", res.H.M(), g.M())
+	}
+	if res.Alpha < 1 {
+		t.Fatalf("alpha = %v < 1", res.Alpha)
+	}
+}
+
+func TestEulerianFacade(t *testing.T) {
+	g, err := graph.RandomEulerian(64, 10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EulerianOrient(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := euler.CheckOrientation(g, res.Orient); v != -1 {
+		t.Fatalf("unbalanced at %d", v)
+	}
+	if res.Rounds.Charged != 0 {
+		t.Fatalf("Theorem 1.4 must be fully measured, got %d charged rounds", res.Rounds.Charged)
+	}
+}
+
+func TestRoundFlowFacade(t *testing.T) {
+	dg := graph.NewDi(3)
+	dg.MustAddArc(0, 1, 4, 1)
+	dg.MustAddArc(1, 2, 4, 1)
+	res, err := RoundFlow(dg, []float64{0.75, 0.75}, 0, 2, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow[0] != 1 || res.Flow[1] != 1 {
+		t.Fatalf("flow = %v", res.Flow)
+	}
+}
+
+func TestMaxFlowFacade(t *testing.T) {
+	dg := graph.LayeredDAG(2, 4, 2, 6, 3)
+	s, tt := 0, dg.N()-1
+	want, _, err := maxflow.Dinic(dg, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaxFlow(dg, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("value %d != %d", res.Value, want)
+	}
+	if _, err := maxflow.CheckFlow(dg, res.Flow, s, tt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCostFlowFacade(t *testing.T) {
+	dg := graph.NewDi(4)
+	dg.MustAddArc(0, 1, 1, 5)
+	dg.MustAddArc(1, 2, 1, 5)
+	dg.MustAddArc(0, 3, 1, 1)
+	dg.MustAddArc(3, 2, 1, 1)
+	sigma := []int64{1, 0, -1, 0}
+	res, err := MinCostFlow(dg, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Fatalf("cost = %d, want 2", res.Cost)
+	}
+	if _, err := mcmf.CheckRouting(dg, res.Flow, sigma); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lapcc/internal/graph"
+)
+
+// The directed-state machinery underlying Theorem 1.4 rests on two facts
+// (see the package comment): the successor map is a permutation of the 2m
+// states, and the mirror involution conjugates succ to pred — which is what
+// guarantees each undirected closed walk appears as two *disjoint* directed
+// cycles. These tests pin both on random Eulerian multigraphs.
+
+func buildStates(t *testing.T, seed int64) (*graph.Graph, *stateSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.RandomEulerian(10+rng.Intn(20), 2+rng.Intn(5), 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, newStateSet(g, nil, Options{Mode: Deterministic})
+}
+
+func TestStateSuccIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		g, s := buildStates(t, seed)
+		m := g.M()
+		seen := make([]bool, 2*m)
+		for st := 0; st < 2*m; st++ {
+			nx := s.succ[st]
+			if nx < 0 || nx >= 2*m || seen[nx] {
+				return false
+			}
+			seen[nx] = true
+		}
+		// Pred must invert succ.
+		for st := 0; st < 2*m; st++ {
+			if s.pred[s.succ[st]] != st {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateMirrorConjugatesSuccToPred(t *testing.T) {
+	// mirror(succ(mirror(s))) == pred(s): the anti-automorphism property.
+	f := func(seed int64) bool {
+		g, s := buildStates(t, seed)
+		m := g.M()
+		for st := 0; st < 2*m; st++ {
+			mirror := st ^ 1
+			if s.succ[mirror]^1 != s.pred[st] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateMirrorCyclesDisjoint(t *testing.T) {
+	// No directed cycle may contain both states of one edge (self-mirror
+	// cycles are impossible; see the package comment's argument).
+	f := func(seed int64) bool {
+		g, s := buildStates(t, seed)
+		m := g.M()
+		cycleOf := make([]int, 2*m)
+		for i := range cycleOf {
+			cycleOf[i] = -1
+		}
+		c := 0
+		for st := 0; st < 2*m; st++ {
+			if cycleOf[st] != -1 {
+				continue
+			}
+			for v := st; cycleOf[v] == -1; v = s.succ[v] {
+				cycleOf[v] = c
+			}
+			c++
+		}
+		for e := 0; e < m; e++ {
+			if cycleOf[2*e] == cycleOf[2*e+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateOwnersMatchEndpoints(t *testing.T) {
+	g, s := buildStates(t, 7)
+	for e := 0; e < g.M(); e++ {
+		if s.owner[2*e] != g.Edge(e).U {
+			t.Fatalf("state %d owner %d, want U=%d", 2*e, s.owner[2*e], g.Edge(e).U)
+		}
+		if s.owner[2*e+1] != g.Edge(e).V {
+			t.Fatalf("state %d owner %d, want V=%d", 2*e+1, s.owner[2*e+1], g.Edge(e).V)
+		}
+	}
+}
+
+func TestStateCostAntisymmetry(t *testing.T) {
+	// The cost of traversing a ring hop equals minus the cost of the
+	// mirrored hop (same edges, opposite directions), so every directed
+	// cycle's total is minus its mirror's — the basis of the S <= 0 rule.
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.RandomEulerian(16, 4, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirCost := make([]int64, g.M())
+	for i := range dirCost {
+		dirCost[i] = rng.Int63n(19) - 9
+	}
+	s := newStateSet(g, dirCost, Options{Mode: Deterministic})
+	m := g.M()
+	// Sum costs around each directed cycle; mirror cycles must negate.
+	cycleCost := map[int]int64{}
+	cycleOf := make([]int, 2*m)
+	for i := range cycleOf {
+		cycleOf[i] = -1
+	}
+	c := 0
+	for st := 0; st < 2*m; st++ {
+		if cycleOf[st] != -1 {
+			continue
+		}
+		var total int64
+		for v := st; cycleOf[v] == -1; v = s.succ[v] {
+			cycleOf[v] = c
+			total += s.cost[v]
+		}
+		cycleCost[c] = total
+		c++
+	}
+	for e := 0; e < m; e++ {
+		c1, c2 := cycleOf[2*e], cycleOf[2*e+1]
+		if cycleCost[c1] != -cycleCost[c2] {
+			t.Fatalf("mirror cycles %d,%d have costs %d,%d (not negated)",
+				c1, c2, cycleCost[c1], cycleCost[c2])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package expander
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lapcc/internal/graph"
+)
+
+func TestConductanceSimpleCut(t *testing.T) {
+	// Two triangles joined by one edge: cutting between them gives
+	// conductance 1/7 (cut 1, each side volume 7).
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(3, 5, 1)
+	g.MustAddEdge(2, 3, 1)
+	inS := []bool{true, true, true, false, false, false}
+	phi, err := Conductance(g, inS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1.0/7.0) > 1e-12 {
+		t.Fatalf("conductance = %v, want 1/7", phi)
+	}
+}
+
+func TestConductanceErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := Conductance(g, []bool{true}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Conductance(g, []bool{false, false, false}); !errors.Is(err, ErrNoCut) {
+		t.Fatalf("empty side error = %v", err)
+	}
+}
+
+func TestGraphConductanceMatchesKnownValues(t *testing.T) {
+	// The cycle C_n has conductance 2/floor(vol/2)... for C_6: best cut
+	// splits into two paths of 3: cut=2, min vol=6, phi=1/3.
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, _, err := GraphConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1.0/3.0) > 1e-12 {
+		t.Fatalf("C6 conductance = %v, want 1/3", phi)
+	}
+	// Complete graph K_5: conductance = (floor(n/2)*ceil(n/2)) / (min side
+	// volume) = (2*3)/(2*4) = 0.75.
+	k := graph.Complete(5)
+	phiK, _, err := GraphConductance(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phiK-0.75) > 1e-12 {
+		t.Fatalf("K5 conductance = %v, want 0.75", phiK)
+	}
+}
+
+func TestGraphConductanceRejectsLargeN(t *testing.T) {
+	if _, _, err := GraphConductance(graph.Path(25)); err == nil {
+		t.Fatal("n > 20 should error")
+	}
+}
+
+func TestSweepCutFindsBottleneck(t *testing.T) {
+	// Dumbbell: sweep cut of the Fiedler vector must find (nearly) the
+	// bridge cut.
+	g, err := graph.TwoClusters(12, 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embed := FiedlerVector(g, 500)
+	phi, side, err := SweepCut(g, embed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge cut conductance = 1 / (12*4+1) ~ 0.0204.
+	if phi > 0.05 {
+		t.Fatalf("sweep conductance = %v, want ~0.02 (bridge)", phi)
+	}
+	// The cut should separate the clusters exactly or nearly.
+	leftInS := 0
+	for v := 0; v < 12; v++ {
+		if side[v] {
+			leftInS++
+		}
+	}
+	if leftInS != 0 && leftInS != 12 {
+		t.Logf("note: cut splits cluster A %d/12 (allowed but unexpected)", leftInS)
+	}
+}
+
+func TestSweepCutTrivialGraphs(t *testing.T) {
+	if _, _, err := SweepCut(graph.New(1), []float64{0}); !errors.Is(err, ErrNoCut) {
+		t.Fatalf("single vertex error = %v", err)
+	}
+	if _, _, err := SweepCut(graph.New(3), []float64{0, 1, 2}); !errors.Is(err, ErrNoCut) {
+		t.Fatalf("edgeless error = %v", err)
+	}
+}
+
+func TestDecomposeSeparatesClusters(t *testing.T) {
+	// Bridge conductance 1/(32*6+1) ~ 0.005 is well below the phi target
+	// (~0.013 at this size), so the decomposition must split here.
+	g, err := graph.TwoClusters(32, 6, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := PhiForEps(0.5, g.M())
+	d, err := Decompose(g, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Parts) < 2 {
+		t.Fatalf("expected the bridge cut to split the graph, got %d part(s)", len(d.Parts))
+	}
+	if frac := d.CrossingFraction(g.M()); frac > 0.5 {
+		t.Fatalf("crossing fraction %v > eps 0.5", frac)
+	}
+	assertPartition(t, g.N(), d.Parts)
+}
+
+func TestDecomposeExpanderStaysWhole(t *testing.T) {
+	// A good expander should not be split at a low phi target.
+	g, err := graph.RandomRegular(64, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(g, PhiForEps(0.5, g.M()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Parts) != 1 {
+		t.Fatalf("8-regular random graph split into %d parts at phi=%v", len(d.Parts), d.Phi)
+	}
+	if len(d.Crossing) != 0 {
+		t.Fatalf("%d crossing edges for a single part", len(d.Crossing))
+	}
+}
+
+func TestDecomposePartsCertifiedBySweep(t *testing.T) {
+	// Every multi-vertex part must have no sweep cut below phi (that is the
+	// certification); verify by recomputing.
+	g, err := graph.TwoClusters(10, 4, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := PhiForEps(0.5, g.M())
+	d, err := Decompose(g, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range d.Parts {
+		if len(part) < 2 {
+			continue
+		}
+		sub, _, err := g.Subgraph(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.M() == 0 {
+			continue
+		}
+		embed := FiedlerVector(sub, 800)
+		phiCut, _, err := SweepCut(sub, embed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phiCut < phi*0.5 {
+			t.Fatalf("part of size %d has sweep cut %v, well below target %v", len(part), phiCut, phi)
+		}
+	}
+	assertPartition(t, g.N(), d.Parts)
+}
+
+func TestDecomposeDisconnected(t *testing.T) {
+	g := graph.New(7)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	// vertices 5, 6 isolated
+	d, err := Decompose(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPartition(t, g.N(), d.Parts)
+	if len(d.Crossing) != 0 {
+		t.Fatalf("component splits must not produce crossing edges, got %d", len(d.Crossing))
+	}
+}
+
+func TestDecomposeRejectsBadPhi(t *testing.T) {
+	if _, err := Decompose(graph.Path(3), 0); err == nil {
+		t.Fatal("phi = 0 should error")
+	}
+}
+
+func TestPhiForEpsMonotone(t *testing.T) {
+	if PhiForEps(0.5, 1000) <= PhiForEps(0.25, 1000) {
+		t.Fatal("larger eps should allow larger phi")
+	}
+	if PhiForEps(0.5, 100) <= PhiForEps(0.5, 100000) {
+		t.Fatal("more edges should lower phi")
+	}
+}
+
+func assertPartition(t *testing.T, n int, parts [][]int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for _, p := range parts {
+		for _, v := range p {
+			if v < 0 || v >= n {
+				t.Fatalf("vertex %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d in two parts", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d missing from partition", v)
+		}
+	}
+}
+
+// Property: on small random graphs, the sweep cut of the Fiedler embedding
+// stays within the Cheeger guarantee of the exact conductance: sweep
+// conductance <= sqrt(8 * phi_exact) (the discrete Cheeger inequality with
+// a safety constant), and never below phi_exact.
+func TestSweepCutCheegerProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, err := graph.ConnectedGNM(10, 16, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := GraphConductance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embed := FiedlerVector(g, 600)
+		sweep, _, err := SweepCut(g, embed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep < exact-1e-9 {
+			t.Fatalf("seed %d: sweep %v below exact conductance %v", seed, sweep, exact)
+		}
+		if sweep > math.Sqrt(8*exact)+1e-9 {
+			t.Fatalf("seed %d: sweep %v above Cheeger bound sqrt(8*%v)=%v",
+				seed, sweep, exact, math.Sqrt(8*exact))
+		}
+	}
+}
+
+// Every decomposition part of >= 2 vertices must have true conductance at
+// least phi^2/4 (the certification claim), checkable exactly at this size.
+func TestDecomposeCertificationExact(t *testing.T) {
+	g, err := graph.TwoClusters(8, 4, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := PhiForEps(0.5, g.M())
+	d, err := Decompose(g, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range d.Parts {
+		if len(part) < 2 || len(part) > 20 {
+			continue
+		}
+		sub, _, err := g.Subgraph(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.M() == 0 || sub.N() < 2 {
+			continue
+		}
+		exact, _, err := GraphConductance(sub)
+		if err != nil {
+			continue // single-vertex style degenerate cuts
+		}
+		if exact < phi*phi/4-1e-12 {
+			t.Fatalf("part %v has conductance %v < phi^2/4 = %v", part, exact, phi*phi/4)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Arc is a directed edge with integer capacity and cost, as used by the flow
+// algorithms (Theorems 1.2 and 1.3 of the paper take integer capacities
+// 1..U and integer costs 1..W).
+type Arc struct {
+	From, To int
+	Cap      int64
+	Cost     int64
+}
+
+// DiGraph is a directed multigraph on n vertices with integer capacities and
+// costs. Out- and in-adjacency are both maintained.
+type DiGraph struct {
+	n    int
+	arcs []Arc
+	out  [][]int // arc indices leaving v
+	in   [][]int // arc indices entering v
+}
+
+// NewDi returns an empty directed graph on n vertices.
+func NewDi(n int) *DiGraph {
+	return &DiGraph{n: n, out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *DiGraph) N() int { return g.n }
+
+// M returns the number of arcs.
+func (g *DiGraph) M() int { return len(g.arcs) }
+
+// Arcs returns the arc list. The caller must not modify it.
+func (g *DiGraph) Arcs() []Arc { return g.arcs }
+
+// Arc returns the arc with the given index.
+func (g *DiGraph) Arc(i int) Arc { return g.arcs[i] }
+
+// Out returns the indices of arcs leaving v. The caller must not modify it.
+func (g *DiGraph) Out(v int) []int { return g.out[v] }
+
+// In returns the indices of arcs entering v. The caller must not modify it.
+func (g *DiGraph) In(v int) []int { return g.in[v] }
+
+// OutDegree returns the number of arcs leaving v.
+func (g *DiGraph) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the number of arcs entering v.
+func (g *DiGraph) InDegree(v int) int { return len(g.in[v]) }
+
+// AddArc adds a directed arc and returns its index. Self-loops are rejected;
+// capacity must be non-negative.
+func (g *DiGraph) AddArc(from, to int, capacity, cost int64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, from, to, g.n)
+	}
+	if from == to {
+		return 0, fmt.Errorf("%w: vertex %d", ErrSelfLoop, from)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("graph: negative capacity %d on arc (%d,%d)", capacity, from, to)
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, Arc{From: from, To: to, Cap: capacity, Cost: cost})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// MustAddArc is AddArc that panics on error; for tests and generators.
+func (g *DiGraph) MustAddArc(from, to int, capacity, cost int64) int {
+	id, err := g.AddArc(from, to, capacity, cost)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MaxCapacity returns the largest arc capacity U, or 0 if there are no arcs.
+func (g *DiGraph) MaxCapacity() int64 {
+	var u int64
+	for _, a := range g.arcs {
+		if a.Cap > u {
+			u = a.Cap
+		}
+	}
+	return u
+}
+
+// MaxCost returns the largest absolute arc cost W, or 0 if there are no arcs.
+func (g *DiGraph) MaxCost() int64 {
+	var w int64
+	for _, a := range g.arcs {
+		c := a.Cost
+		if c < 0 {
+			c = -c
+		}
+		if c > w {
+			w = c
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy of the directed graph.
+func (g *DiGraph) Clone() *DiGraph {
+	c := NewDi(g.n)
+	c.arcs = append([]Arc(nil), g.arcs...)
+	for v := 0; v < g.n; v++ {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// Undirected returns the undirected weighted graph obtained by forgetting
+// arc directions and using the given per-arc weights (e.g. electrical
+// conductances). Arcs with weight 0 are dropped.
+func (g *DiGraph) Undirected(weight func(arc int) float64) (*Graph, error) {
+	u := New(g.n)
+	for i := range g.arcs {
+		w := weight(i)
+		if w == 0 {
+			continue
+		}
+		if _, err := u.AddEdge(g.arcs[i].From, g.arcs[i].To, w); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDiGraphBasics(t *testing.T) {
+	g := NewDi(4)
+	id, err := g.AddArc(0, 1, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first arc id = %d, want 0", id)
+	}
+	g.MustAddArc(1, 2, 3, 1)
+	g.MustAddArc(1, 3, 7, 4)
+	if g.M() != 3 {
+		t.Fatalf("M() = %d, want 3", g.M())
+	}
+	if g.OutDegree(1) != 2 || g.InDegree(1) != 1 {
+		t.Fatalf("degrees of 1: out=%d in=%d, want 2, 1", g.OutDegree(1), g.InDegree(1))
+	}
+	if g.MaxCapacity() != 7 {
+		t.Fatalf("MaxCapacity = %d, want 7", g.MaxCapacity())
+	}
+	if g.MaxCost() != 4 {
+		t.Fatalf("MaxCost = %d, want 4", g.MaxCost())
+	}
+}
+
+func TestDiGraphErrors(t *testing.T) {
+	g := NewDi(3)
+	if _, err := g.AddArc(0, 3, 1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("range error = %v", err)
+	}
+	if _, err := g.AddArc(1, 1, 1, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop error = %v", err)
+	}
+	if _, err := g.AddArc(0, 1, -1, 0); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+}
+
+func TestDiGraphMaxCostAbsolute(t *testing.T) {
+	g := NewDi(3)
+	g.MustAddArc(0, 1, 1, -9)
+	g.MustAddArc(1, 2, 1, 3)
+	if g.MaxCost() != 9 {
+		t.Fatalf("MaxCost = %d, want 9 (absolute)", g.MaxCost())
+	}
+}
+
+func TestDiGraphClone(t *testing.T) {
+	g := NewDi(3)
+	g.MustAddArc(0, 1, 1, 1)
+	c := g.Clone()
+	c.MustAddArc(1, 2, 1, 1)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestDiGraphUndirected(t *testing.T) {
+	g := NewDi(3)
+	g.MustAddArc(0, 1, 1, 1)
+	g.MustAddArc(2, 1, 1, 1)
+	g.MustAddArc(0, 2, 1, 1)
+	u, err := g.Undirected(func(i int) float64 {
+		if i == 2 {
+			return 0 // dropped
+		}
+		return float64(i + 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.M() != 2 {
+		t.Fatalf("undirected m = %d, want 2", u.M())
+	}
+	if u.Edge(1).W != 2 {
+		t.Fatalf("weight = %v, want 2", u.Edge(1).W)
+	}
+}

@@ -1,0 +1,468 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the workload families used by the experiments in
+// EXPERIMENTS.md. All randomized generators take an explicit seed so every
+// experiment is reproducible; the algorithms themselves stay deterministic.
+
+// Path returns the path graph 0-1-...-(n-1) with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices with unit weights.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	return g, nil
+}
+
+// Grid returns the rows x cols grid graph with unit weights.
+// Vertex (r,c) has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.MustAddEdge(v, v+1, 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(v, v+cols, 1)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with center 0 and n-1 leaves, unit weights.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	return g
+}
+
+// Circulant returns the circulant graph on n vertices where vertex i is
+// joined to i±j (mod n) for each jump j. Circulants with geometric jump
+// sequences are classic deterministic expanders and serve as the internal
+// sparsifier building block (see internal/sparsify).
+func Circulant(n int, jumps []int, w float64) (*Graph, error) {
+	g := New(n)
+	for _, j := range jumps {
+		if j <= 0 || 2*j > n && j != n/2 {
+			if j <= 0 || j >= n {
+				return nil, fmt.Errorf("graph: circulant jump %d out of range for n=%d", j, n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			u, v := i, (i+j)%n
+			if u == v {
+				continue
+			}
+			// Avoid double-adding the same {i, i+n/2} pair when j == n/2.
+			if 2*j == n && u > v {
+				continue
+			}
+			g.MustAddEdge(u, v, w)
+		}
+	}
+	return g, nil
+}
+
+// GeometricJumps returns the jump set {1, 2, 4, ..., <= n/2} used for
+// circulant expanders.
+func GeometricJumps(n int) []int {
+	var js []int
+	for j := 1; 2*j <= n; j *= 2 {
+		js = append(js, j)
+	}
+	if len(js) == 0 {
+		js = []int{1}
+	}
+	return js
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices with
+// unit weights. It starts from a circulant d-regular base and randomizes it
+// with double-edge swaps (which preserve regularity and simplicity), so it
+// succeeds for every valid (n, d): n*d even and d < n.
+func RandomRegular(n, d int, seed int64) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even (n=%d d=%d)", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: need d < n (n=%d d=%d)", n, d)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("graph: need d >= 1, got %d", d)
+	}
+	// Circulant base: jumps 1..d/2, plus the antipodal matching when d is
+	// odd (n is even in that case because n*d is even).
+	var jumps []int
+	for j := 1; j <= d/2; j++ {
+		jumps = append(jumps, j)
+	}
+	if d%2 == 1 {
+		jumps = append(jumps, n/2)
+	}
+	edges := make([][2]int, 0, n*d/2)
+	used := make(map[[2]int]bool, n*d/2)
+	addPair := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if used[key] {
+			return
+		}
+		used[key] = true
+		edges = append(edges, key)
+	}
+	for _, j := range jumps {
+		for i := 0; i < n; i++ {
+			if 2*j == n && i >= n/2 {
+				continue // antipodal matching: add each pair once
+			}
+			addPair(i, (i+j)%n)
+		}
+	}
+	if len(edges) != n*d/2 {
+		return nil, fmt.Errorf("graph: circulant base has %d edges, want %d (n=%d d=%d)", len(edges), n*d/2, n, d)
+	}
+	// Randomize with double-edge swaps: (a-b, c-e) -> (a-e, c-b).
+	rng := rand.New(rand.NewSource(seed))
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for swap := 0; swap < 12*len(edges); swap++ {
+		i := rng.Intn(len(edges))
+		j := rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i][0], edges[i][1]
+		c, e := edges[j][0], edges[j][1]
+		if rng.Intn(2) == 1 {
+			c, e = e, c
+		}
+		if a == e || c == b || a == c || b == e {
+			continue
+		}
+		if used[key(a, e)] || used[key(c, b)] {
+			continue
+		}
+		delete(used, edges[i])
+		delete(used, edges[j])
+		edges[i] = key(a, e)
+		edges[j] = key(c, b)
+		used[edges[i]] = true
+		used[edges[j]] = true
+	}
+	g := New(n)
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1], 1)
+	}
+	return g, nil
+}
+
+// GNM returns a random simple graph with n vertices and m distinct edges,
+// unit weights.
+func GNM(n, m int, seed int64) (*Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		return nil, fmt.Errorf("graph: m=%d exceeds max %d for n=%d", m, maxM, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	used := make(map[[2]int]bool, m)
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if used[[2]int{u, v}] {
+			continue
+		}
+		used[[2]int{u, v}] = true
+		g.MustAddEdge(u, v, 1)
+	}
+	return g, nil
+}
+
+// ConnectedGNM returns a connected random graph: a random spanning tree plus
+// m-(n-1) extra random edges. m must be at least n-1.
+func ConnectedGNM(n, m int, seed int64) (*Graph, error) {
+	if m < n-1 {
+		return nil, fmt.Errorf("graph: connected graph needs m >= n-1 (n=%d m=%d)", n, m)
+	}
+	if maxM := n * (n - 1) / 2; m > maxM {
+		return nil, fmt.Errorf("graph: m=%d exceeds max %d for n=%d", m, maxM, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	used := make(map[[2]int]bool)
+	add := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || used[[2]int{u, v}] {
+			return false
+		}
+		used[[2]int{u, v}] = true
+		g.MustAddEdge(u, v, 1)
+		return true
+	}
+	for i := 1; i < n; i++ {
+		// Attach each vertex to a random earlier vertex in the permutation.
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for g.M() < m {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return g, nil
+}
+
+// WithRandomWeights returns a copy of g whose edge weights are independent
+// uniform integers in {1, ..., maxW}.
+func WithRandomWeights(g *Graph, maxW int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.MustAddEdge(e.U, e.V, float64(1+rng.Int63n(maxW)))
+	}
+	return c
+}
+
+// TwoClusters returns a graph made of two dense random clusters of the given
+// size joined by `bridges` edges. It is the canonical hard instance for
+// expander decomposition tests: the minimum-conductance cut separates the
+// clusters.
+func TwoClusters(size, degree, bridges int, seed int64) (*Graph, error) {
+	a, err := RandomRegular(size, degree, seed)
+	if err != nil {
+		return nil, err
+	}
+	b, err := RandomRegular(size, degree, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	g := New(2 * size)
+	for _, e := range a.Edges() {
+		g.MustAddEdge(e.U, e.V, 1)
+	}
+	for _, e := range b.Edges() {
+		g.MustAddEdge(e.U+size, e.V+size, 1)
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	for i := 0; i < bridges; i++ {
+		g.MustAddEdge(rng.Intn(size), size+rng.Intn(size), 1)
+	}
+	return g, nil
+}
+
+// RandomEulerian returns a graph that is a union of `cycles` random simple
+// cycles on n vertices (so every vertex has even degree). Parallel edges may
+// occur; that is fine for Eulerian orientation.
+func RandomEulerian(n, cycles, minLen int, seed int64) (*Graph, error) {
+	if minLen < 3 || minLen > n {
+		return nil, fmt.Errorf("graph: cycle length must be in [3, n]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for c := 0; c < cycles; c++ {
+		l := minLen + rng.Intn(n-minLen+1)
+		perm := rng.Perm(n)[:l]
+		for i := 0; i < l; i++ {
+			g.MustAddEdge(perm[i], perm[(i+1)%l], 1)
+		}
+	}
+	return g, nil
+}
+
+// LayeredDAG returns a directed layered network for max-flow experiments:
+// a source (vertex 0), `layers` layers of `width` vertices, and a sink
+// (last vertex). Consecutive layers are joined by `density` random arcs per
+// vertex with capacities uniform in {1..maxCap}.
+func LayeredDAG(layers, width, density int, maxCap int64, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + layers*width
+	g := NewDi(n)
+	s, t := 0, n-1
+	layerVertex := func(l, i int) int { return 1 + l*width + i }
+	cap1 := func() int64 { return 1 + rng.Int63n(maxCap) }
+	for i := 0; i < width; i++ {
+		g.MustAddArc(s, layerVertex(0, i), cap1(), 1)
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for d := 0; d < density; d++ {
+				g.MustAddArc(layerVertex(l, i), layerVertex(l+1, rng.Intn(width)), cap1(), 1)
+			}
+		}
+	}
+	for i := 0; i < width; i++ {
+		g.MustAddArc(layerVertex(layers-1, i), t, cap1(), 1)
+	}
+	return g
+}
+
+// RandomDiGraph returns a random directed graph with m arcs, capacities in
+// {1..maxCap} and costs in {1..maxCost}. A directed s-t path through all
+// vertices is always included so that vertex 0 reaches vertex n-1.
+func RandomDiGraph(n, m int, maxCap, maxCost int64, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewDi(n)
+	for i := 0; i+1 < n && g.M() < m; i++ {
+		g.MustAddArc(i, i+1, 1+rng.Int63n(maxCap), 1+rng.Int63n(maxCost))
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.MustAddArc(u, v, 1+rng.Int63n(maxCap), 1+rng.Int63n(maxCost))
+	}
+	return g
+}
+
+// RandomUnitBipartite returns a unit-capacity directed bipartite graph for
+// the min-cost-flow experiments: `left` sources each with `degree` arcs to
+// random right vertices, costs uniform in {1..maxCost}. The demand vector
+// pairs with mcmf: each left vertex supplies one unit, each right vertex
+// absorbs what it receives in a perfect matching sense. Arcs go left->right;
+// vertex i in [0,left) is a left vertex, left+j is a right vertex.
+func RandomUnitBipartite(left, right, degree int, maxCost int64, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewDi(left + right)
+	for u := 0; u < left; u++ {
+		seen := map[int]bool{}
+		for d := 0; d < degree; d++ {
+			v := rng.Intn(right)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			g.MustAddArc(u, left+v, 1, 1+rng.Int63n(maxCost))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube graph on 2^d vertices with
+// unit weights — a classic bounded-degree expander-like topology.
+func Hypercube(d int) (*Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d outside [1, 20]", d)
+	}
+	n := 1 << d
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.MustAddEdge(v, u, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// BipartiteRegular returns a bipartite d-regular graph on two sides of k
+// vertices each (vertex i on the left, k+j on the right), randomized by
+// permutations; unit weights.
+func BipartiteRegular(k, d int, seed int64) (*Graph, error) {
+	if d < 1 || d > k {
+		return nil, fmt.Errorf("graph: bipartite degree %d outside [1, %d]", d, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(2 * k)
+	used := make(map[[2]int]bool, k*d)
+	for r := 0; r < d; r++ {
+		// Each round adds a perfect matching; retry a bounded number of
+		// permutations to avoid duplicating an earlier matching edge.
+		placed := false
+		for attempt := 0; attempt < 200 && !placed; attempt++ {
+			perm := rng.Perm(k)
+			ok := true
+			for i := 0; i < k; i++ {
+				if used[[2]int{i, perm[i]}] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				used[[2]int{i, perm[i]}] = true
+				g.MustAddEdge(i, k+perm[i], 1)
+			}
+			placed = true
+		}
+		if !placed {
+			return nil, fmt.Errorf("graph: failed to place matching %d of %d", r+1, d)
+		}
+	}
+	return g, nil
+}
+
+// GridFlowNetwork returns a directed grid flow network: source 0, sink
+// rows*cols+1, arcs rightward and downward through an interior rows x cols
+// grid with capacities uniform in {1..maxCap}. A standard max-flow workload
+// with many crossing min cuts.
+func GridFlowNetwork(rows, cols int, maxCap int64, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows*cols + 2
+	dg := NewDi(n)
+	s, t := 0, n-1
+	at := func(r, c int) int { return 1 + r*cols + c }
+	cap1 := func() int64 { return 1 + rng.Int63n(maxCap) }
+	for r := 0; r < rows; r++ {
+		dg.MustAddArc(s, at(r, 0), cap1(), 1)
+		dg.MustAddArc(at(r, cols-1), t, cap1(), 1)
+		for c := 0; c+1 < cols; c++ {
+			dg.MustAddArc(at(r, c), at(r, c+1), cap1(), 1)
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r+1 < rows; r++ {
+			dg.MustAddArc(at(r, c), at(r+1, c), cap1(), 1)
+			dg.MustAddArc(at(r+1, c), at(r, c), cap1(), 1)
+		}
+	}
+	return dg
+}

@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathStructure(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Fatalf("path on 5 has %d edges, want 4", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("path should be connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+}
+
+func TestCycleStructure(t *testing.T) {
+	g, err := Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 6 {
+		t.Fatalf("cycle on 6 has %d edges, want 6", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("cycle degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("Cycle(2) should error")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n = %d, want 12", g.N())
+	}
+	// 3*3 horizontal per row? rows*(cols-1) + (rows-1)*cols = 3*3 + 2*4 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid m = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid should be connected")
+	}
+}
+
+func TestCompleteStructure(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 has %d edges, want 15", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("K6 degree(%d) = %d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCirculantIsRegularAndConnected(t *testing.T) {
+	n := 32
+	g, err := Circulant(n, GeometricJumps(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("circulant should be connected")
+	}
+	d0 := g.Degree(0)
+	for v := 1; v < n; v++ {
+		if g.Degree(v) != d0 {
+			t.Fatalf("circulant not regular: deg(%d)=%d deg(0)=%d", v, g.Degree(v), d0)
+		}
+	}
+}
+
+func TestCirculantRejectsBadJump(t *testing.T) {
+	if _, err := Circulant(8, []int{0}, 1); err == nil {
+		t.Fatal("jump 0 should error")
+	}
+	if _, err := Circulant(8, []int{8}, 1); err == nil {
+		t.Fatal("jump n should error")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(50, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Fatal("odd n*d should error")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Fatal("d >= n should error")
+	}
+}
+
+func TestRandomRegularDeterministicForSeed(t *testing.T) {
+	a, err := RandomRegular(30, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(30, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("same seed should give same graph")
+	}
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	g, err := GNM(20, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 30 {
+		t.Fatalf("GNM m = %d, want 30", g.M())
+	}
+	if _, err := GNM(4, 100, 3); err == nil {
+		t.Fatal("impossible m should error")
+	}
+}
+
+func TestConnectedGNM(t *testing.T) {
+	g, err := ConnectedGNM(40, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("ConnectedGNM should be connected")
+	}
+	if g.M() != 60 {
+		t.Fatalf("m = %d, want 60", g.M())
+	}
+	if _, err := ConnectedGNM(10, 5, 1); err == nil {
+		t.Fatal("m < n-1 should error")
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	g := Path(10)
+	w := WithRandomWeights(g, 100, 5)
+	if w.M() != g.M() {
+		t.Fatal("weight randomization changed edge count")
+	}
+	for _, e := range w.Edges() {
+		if e.W < 1 || e.W > 100 {
+			t.Fatalf("weight %v out of [1,100]", e.W)
+		}
+		if e.W != float64(int64(e.W)) {
+			t.Fatalf("weight %v not integral", e.W)
+		}
+	}
+}
+
+func TestTwoClusters(t *testing.T) {
+	g, err := TwoClusters(20, 4, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 {
+		t.Fatalf("n = %d, want 40", g.N())
+	}
+	// Bridge count: total edges = 2 * (20*4/2) + 3.
+	if g.M() != 83 {
+		t.Fatalf("m = %d, want 83", g.M())
+	}
+}
+
+func TestRandomEulerianAllDegreesEven(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := RandomEulerian(20, 5, 3, seed)
+		if err != nil {
+			return false
+		}
+		return g.IsEulerian()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayeredDAG(t *testing.T) {
+	g := LayeredDAG(3, 4, 2, 10, 17)
+	if g.N() != 2+3*4 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.OutDegree(0) != 4 {
+		t.Fatalf("source out-degree = %d, want 4", g.OutDegree(0))
+	}
+	if g.InDegree(g.N()-1) != 4 {
+		t.Fatalf("sink in-degree = %d, want 4", g.InDegree(g.N()-1))
+	}
+	for _, a := range g.Arcs() {
+		if a.Cap < 1 || a.Cap > 10 {
+			t.Fatalf("capacity %d out of range", a.Cap)
+		}
+	}
+}
+
+func TestRandomDiGraph(t *testing.T) {
+	g := RandomDiGraph(10, 30, 5, 7, 13)
+	if g.M() != 30 {
+		t.Fatalf("m = %d, want 30", g.M())
+	}
+	if g.MaxCapacity() > 5 {
+		t.Fatalf("max capacity %d > 5", g.MaxCapacity())
+	}
+	if g.MaxCost() > 7 {
+		t.Fatalf("max cost %d > 7", g.MaxCost())
+	}
+}
+
+func TestRandomUnitBipartite(t *testing.T) {
+	g := RandomUnitBipartite(5, 6, 3, 9, 21)
+	if g.N() != 11 {
+		t.Fatalf("n = %d, want 11", g.N())
+	}
+	for _, a := range g.Arcs() {
+		if a.Cap != 1 {
+			t.Fatalf("capacity %d, want 1", a.Cap)
+		}
+		if a.From >= 5 || a.To < 5 {
+			t.Fatalf("arc (%d,%d) not left->right", a.From, a.To)
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 || g.M() != 32 { // n*d/2 = 16*4/2
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("hypercube disconnected")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+}
+
+func TestBipartiteRegular(t *testing.T) {
+	g, err := BipartiteRegular(12, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		if (e.U < 12) == (e.V < 12) {
+			t.Fatalf("edge {%d,%d} not crossing the bipartition", e.U, e.V)
+		}
+	}
+	if _, err := BipartiteRegular(4, 5, 1); err == nil {
+		t.Fatal("d > k accepted")
+	}
+}
+
+func TestGridFlowNetwork(t *testing.T) {
+	dg := GridFlowNetwork(3, 4, 9, 7)
+	if dg.N() != 14 {
+		t.Fatalf("n = %d", dg.N())
+	}
+	if dg.OutDegree(0) != 3 {
+		t.Fatalf("source out-degree %d, want rows=3", dg.OutDegree(0))
+	}
+	if dg.InDegree(13) != 3 {
+		t.Fatalf("sink in-degree %d, want rows=3", dg.InDegree(13))
+	}
+	for _, a := range dg.Arcs() {
+		if a.Cap < 1 || a.Cap > 9 {
+			t.Fatalf("capacity %d out of range", a.Cap)
+		}
+	}
+}

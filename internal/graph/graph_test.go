@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+	if g.M() != 0 {
+		t.Fatalf("M() = %d, want 0", g.M())
+	}
+	if !g.IsEulerian() {
+		t.Fatal("empty graph should be Eulerian (all degrees 0)")
+	}
+}
+
+func TestAddEdgeNormalizesEndpoints(t *testing.T) {
+	g := New(3)
+	id, err := g.AddEdge(2, 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edge(id)
+	if e.U != 1 || e.V != 2 {
+		t.Fatalf("edge stored as (%d,%d), want normalized (1,2)", e.U, e.V)
+	}
+	if e.W != 1.5 {
+		t.Fatalf("weight %v, want 1.5", e.W)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name    string
+		u, v    int
+		w       float64
+		wantErr error
+	}{
+		{"out of range low", -1, 0, 1, ErrVertexRange},
+		{"out of range high", 0, 3, 1, ErrVertexRange},
+		{"self loop", 1, 1, 1, ErrSelfLoop},
+		{"zero weight", 0, 1, 0, ErrBadWeight},
+		{"negative weight", 0, 1, -2, ErrBadWeight},
+		{"nan weight", 0, 1, nan(), ErrBadWeight},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := g.AddEdge(c.u, c.v, c.w); !errors.Is(err, c.wantErr) {
+				t.Fatalf("AddEdge(%d,%d,%v) error = %v, want %v", c.u, c.v, c.w, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestDegreesAndWeights(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(0, 1, 5) // parallel edge
+	if got := g.Degree(0); got != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", got)
+	}
+	if got := g.WeightedDegree(0); got != 10 {
+		t.Fatalf("WeightedDegree(0) = %v, want 10", got)
+	}
+	if got := g.WeightedDegree(3); got != 0 {
+		t.Fatalf("WeightedDegree(3) = %v, want 0", got)
+	}
+	if got := g.TotalWeight(); got != 10 {
+		t.Fatalf("TotalWeight() = %v, want 10", got)
+	}
+	if got := g.MaxWeight(); got != 5 {
+		t.Fatalf("MaxWeight() = %v, want 5", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2, 1)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatalf("clone not independent: g.M()=%d c.M()=%d", g.M(), c.M())
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	g.MustAddEdge(3, 4, 4)
+	s, orig, err := g.Subgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 || s.M() != 2 {
+		t.Fatalf("subgraph has n=%d m=%d, want 3, 2", s.N(), s.M())
+	}
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if _, _, err := g.Subgraph([]int{1, 1}); err == nil {
+		t.Fatal("duplicate vertex should error")
+	}
+	if _, _, err := g.Subgraph([]int{7}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out-of-range vertex error = %v", err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	want := [][]int{{0, 1}, {2, 3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestIsEulerian(t *testing.T) {
+	c, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsEulerian() {
+		t.Fatal("cycle should be Eulerian")
+	}
+	p := Path(4)
+	if p.IsEulerian() {
+		t.Fatal("path should not be Eulerian")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g := Star(4)
+	if got := g.Volume([]int{0}); got != 3 {
+		t.Fatalf("Volume(center) = %d, want 3", got)
+	}
+	if got := g.Volume([]int{1, 2, 3}); got != 3 {
+		t.Fatalf("Volume(leaves) = %d, want 3", got)
+	}
+}
+
+// Property: adjacency structure is always consistent with the edge list.
+func TestAdjacencyConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for i := 0; i < 30; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		// Sum of degrees must be 2m, and each half-edge must point back at a
+		// real edge with the right endpoints.
+		total := 0
+		for v := 0; v < n; v++ {
+			total += g.Degree(v)
+			for _, h := range g.Adj(v) {
+				e := g.Edge(h.Edge)
+				if e.U != v && e.V != v {
+					return false
+				}
+				other := e.U
+				if other == v {
+					other = e.V
+				}
+				if h.To != other {
+					return false
+				}
+			}
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Plain-text graph formats used by the command-line tools:
+//
+//	edge list:  "u v [weight]"   one per line, weight defaults to 1
+//	arc list:   "from to cap [cost]"
+//
+// Blank lines and lines starting with '#' are ignored. Vertex count is
+// 1 + the largest index seen.
+
+// ReadEdgeList parses an undirected weighted graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	maxV := -1
+	if err := scanLines(r, func(line int, fields []string) error {
+		if len(fields) < 2 || len(fields) > 3 {
+			return fmt.Errorf("line %d: need 'u v [w]', got %d fields", line, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			if w, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+		}
+		edges = append(edges, edge{u, v, w})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	g := New(maxV + 1)
+	for _, e := range edges {
+		if _, err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# undirected graph: n=%d m=%d\n", g.N(), g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// ReadArcList parses a directed capacitated graph.
+func ReadArcList(r io.Reader) (*DiGraph, error) {
+	type arc struct {
+		from, to  int
+		cap, cost int64
+	}
+	var arcs []arc
+	maxV := -1
+	if err := scanLines(r, func(line int, fields []string) error {
+		if len(fields) < 3 || len(fields) > 4 {
+			return fmt.Errorf("line %d: need 'from to cap [cost]', got %d fields", line, len(fields))
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		capacity, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		cost := int64(0)
+		if len(fields) == 4 {
+			if cost, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+		}
+		arcs = append(arcs, arc{from, to, capacity, cost})
+		if from > maxV {
+			maxV = from
+		}
+		if to > maxV {
+			maxV = to
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	dg := NewDi(maxV + 1)
+	for _, a := range arcs {
+		if _, err := dg.AddArc(a.from, a.to, a.cap, a.cost); err != nil {
+			return nil, err
+		}
+	}
+	return dg, nil
+}
+
+// WriteArcList writes dg in the arc-list format.
+func WriteArcList(w io.Writer, dg *DiGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# directed graph: n=%d m=%d\n", dg.N(), dg.M())
+	for _, a := range dg.Arcs() {
+		fmt.Fprintf(bw, "%d %d %d %d\n", a.From, a.To, a.Cap, a.Cost)
+	}
+	return bw.Flush()
+}
+
+func scanLines(r io.Reader, fn func(line int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if err := fn(line, strings.Fields(text)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

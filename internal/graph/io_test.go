@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+0 1 2.5
+
+1 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Edge(0).W != 2.5 {
+		t.Fatalf("weight %v", g.Edge(0).W)
+	}
+	if g.Edge(1).W != 1 {
+		t.Fatalf("default weight %v", g.Edge(1).W)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0",            // too few fields
+		"0 1 2 3",      // too many
+		"x 1",          // bad vertex
+		"0 y",          // bad vertex
+		"0 1 z",        // bad weight
+		"0 0",          // self loop (graph layer rejects)
+		"0 1 -3",       // bad weight value
+		"0 1 2\n1 1 1", // self loop later
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := ConnectedGNM(12, 20, seed)
+		if err != nil {
+			return false
+		}
+		wg := WithRandomWeights(g, 9, seed)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, wg); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if back.N() != wg.N() || back.M() != wg.M() {
+			return false
+		}
+		for i := 0; i < wg.M(); i++ {
+			if back.Edge(i) != wg.Edge(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadArcListBasic(t *testing.T) {
+	in := "0 1 5 2\n1 2 3\n"
+	dg, err := ReadArcList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.N() != 3 || dg.M() != 2 {
+		t.Fatalf("n=%d m=%d", dg.N(), dg.M())
+	}
+	if a := dg.Arc(0); a.Cap != 5 || a.Cost != 2 {
+		t.Fatalf("arc %+v", a)
+	}
+	if a := dg.Arc(1); a.Cost != 0 {
+		t.Fatalf("default cost %+v", a)
+	}
+}
+
+func TestReadArcListErrors(t *testing.T) {
+	cases := []string{
+		"0 1",       // too few
+		"0 1 2 3 4", // too many
+		"a 1 2",
+		"0 b 2",
+		"0 1 c",
+		"0 1 2 d",
+		"0 1 -2", // negative capacity
+		"1 1 2",  // self loop
+	}
+	for _, in := range cases {
+		if _, err := ReadArcList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestArcListRoundTrip(t *testing.T) {
+	dg := RandomDiGraph(10, 25, 7, 5, 3)
+	var buf bytes.Buffer
+	if err := WriteArcList(&buf, dg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArcList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != dg.M() {
+		t.Fatalf("m=%d want %d", back.M(), dg.M())
+	}
+	for i := 0; i < dg.M(); i++ {
+		if back.Arc(i) != dg.Arc(i) {
+			t.Fatalf("arc %d: %+v vs %+v", i, back.Arc(i), dg.Arc(i))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoConvergence reports that an iterative solver hit its iteration cap
+// before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// CGOptions configures conjugate-gradient solves.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ||b - Ax|| <= Tol * ||b||.
+	// Zero means 1e-12.
+	Tol float64
+	// MaxIter caps iterations. Zero means 20*n + 200.
+	MaxIter int
+	// Precond, if non-nil, holds the diagonal of a Jacobi preconditioner;
+	// entries must be positive.
+	Precond Vec
+	// ProjectMean, when true, keeps iterates orthogonal to the all-ones
+	// vector — required when A is a connected graph's Laplacian so that CG
+	// computes the pseudoinverse action.
+	ProjectMean bool
+}
+
+// CGResult reports how a CG solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// SolveCG solves A x = b for a symmetric positive (semi-)definite operator
+// using preconditioned conjugate gradients. For Laplacians, set
+// opts.ProjectMean and pass a right-hand side orthogonal to the all-ones
+// vector (SolveCG projects b defensively as well).
+func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, CGResult{}, fmt.Errorf("linalg: rhs length %d for operator dimension %d", len(b), n)
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-12
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 20*n + 200
+	}
+
+	rhs := b.Clone()
+	if opts.ProjectMean {
+		rhs.RemoveMean()
+	}
+	bnorm := rhs.Norm2()
+	x := NewVec(n)
+	if bnorm == 0 {
+		return x, CGResult{}, nil
+	}
+
+	applyPrecond := func(dst, r Vec) {
+		if opts.Precond == nil {
+			copy(dst, r)
+			return
+		}
+		for i := range dst {
+			dst[i] = r[i] / opts.Precond[i]
+		}
+	}
+
+	r := rhs.Clone()
+	z := NewVec(n)
+	applyPrecond(z, r)
+	if opts.ProjectMean {
+		z.RemoveMean()
+	}
+	p := z.Clone()
+	ap := NewVec(n)
+	rz := r.Dot(z)
+
+	var res CGResult
+	for k := 0; k < maxIter; k++ {
+		a.Apply(ap, p)
+		pap := p.Dot(ap)
+		if pap <= 0 {
+			// Numerically singular direction; bail with what we have.
+			res.Iterations = k
+			res.Residual = r.Norm2() / bnorm
+			if res.Residual <= tol {
+				return x, res, nil
+			}
+			return x, res, fmt.Errorf("%w: curvature %v at iteration %d (residual %v)",
+				ErrNoConvergence, pap, k, res.Residual)
+		}
+		alpha := rz / pap
+		x.AXPY(alpha, p)
+		r.AXPY(-alpha, ap)
+		if opts.ProjectMean {
+			r.RemoveMean()
+		}
+		res.Iterations = k + 1
+		res.Residual = r.Norm2() / bnorm
+		if res.Residual <= tol {
+			if opts.ProjectMean {
+				x.RemoveMean()
+			}
+			return x, res, nil
+		}
+		applyPrecond(z, r)
+		if opts.ProjectMean {
+			z.RemoveMean()
+		}
+		rzNew := r.Dot(z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if opts.ProjectMean {
+		x.RemoveMean()
+	}
+	return x, res, fmt.Errorf("%w: residual %v after %d iterations (tol %v)",
+		ErrNoConvergence, res.Residual, res.Iterations, tol)
+}
+
+// LaplacianCGSolver returns a high-precision internal solver for a graph
+// Laplacian: a closure mapping b to an approximate L^+ b. It uses Jacobi-
+// preconditioned CG with mean projection. This models a node solving a
+// globally-known sparsifier internally, which costs zero communication
+// rounds in the congested clique.
+func LaplacianCGSolver(l *Laplacian, tol float64) func(Vec) (Vec, error) {
+	precond := l.Degrees().Clone()
+	for i := range precond {
+		if precond[i] <= 0 {
+			precond[i] = 1 // isolated vertex: identity row in the preconditioner
+		}
+	}
+	return func(b Vec) (Vec, error) {
+		x, _, err := SolveCG(l, b, CGOptions{Tol: tol, Precond: precond, ProjectMean: true})
+		if err != nil {
+			return nil, fmt.Errorf("linalg: internal sparsifier solve: %w", err)
+		}
+		return x, nil
+	}
+}

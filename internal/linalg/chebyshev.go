@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// PreconCheby implements the preconditioned Chebyshev iteration of
+// Theorem 2.2 (Peng's formulation): given symmetric PSD operators A and B
+// with A <= B <= kappa*A (in the Loewner order), it approximates A^+ b to
+// relative error eps in the A-norm using O(sqrt(kappa) * log(1/eps))
+// iterations, each consisting of one matvec with A, one solve with B, and a
+// constant number of vector operations.
+//
+// In the congested-clique accounting of Theorem 1.1, the matvec with A = L_G
+// costs O(1) rounds and the B-solve costs zero rounds because the sparsifier
+// is globally known; the caller charges those costs per iteration.
+
+// ChebyOptions configures PreconCheby.
+type ChebyOptions struct {
+	// Kappa is the relative condition number with A <= B <= Kappa*A.
+	// Must be >= 1.
+	Kappa float64
+	// Eps is the target relative error in the A-norm, in (0, 1/2].
+	Eps float64
+	// MaxIter optionally caps iterations; zero means the theory bound
+	// ceil(sqrt(Kappa) * ln(2/Eps)) + 1.
+	MaxIter int
+	// OnIteration, if non-nil, is invoked once per iteration — the hook the
+	// congested-clique driver uses to charge per-iteration round costs.
+	OnIteration func()
+}
+
+// ChebyResult reports a PreconCheby run.
+type ChebyResult struct {
+	Iterations int
+}
+
+// PreconCheby runs the preconditioned Chebyshev iteration. bSolve must
+// return an (approximate) solution of B y = r; for Laplacian preconditioners
+// it should project out the nullspace. The returned x approximates A^+ b.
+func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOptions) (Vec, ChebyResult, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, ChebyResult{}, fmt.Errorf("linalg: rhs length %d for operator dimension %d", len(b), n)
+	}
+	if opts.Kappa < 1 {
+		return nil, ChebyResult{}, fmt.Errorf("linalg: kappa %v < 1", opts.Kappa)
+	}
+	if opts.Eps <= 0 || opts.Eps > 0.5 {
+		return nil, ChebyResult{}, fmt.Errorf("linalg: eps %v outside (0, 1/2]", opts.Eps)
+	}
+
+	// The preconditioned operator B^{-1}A has spectrum (on the range) inside
+	// [1/kappa, 1].
+	lamMin := 1 / opts.Kappa
+	lamMax := 1.0
+	iters := opts.MaxIter
+	if iters == 0 {
+		iters = int(math.Ceil(math.Sqrt(opts.Kappa)*math.Log(2/opts.Eps))) + 1
+	}
+
+	theta := (lamMax + lamMin) / 2
+	delta := (lamMax - lamMin) / 2
+
+	x := NewVec(n)
+	r := b.Clone()
+	av := NewVec(n)
+
+	if delta < 1e-14 {
+		// kappa ~ 1: B is (a scalar multiple of) A; Richardson steps suffice.
+		for k := 0; k < iters; k++ {
+			if opts.OnIteration != nil {
+				opts.OnIteration()
+			}
+			z, err := bSolve(r)
+			if err != nil {
+				return nil, ChebyResult{}, err
+			}
+			z.Scale(1 / theta)
+			x.AXPY(1, z)
+			a.Apply(av, x)
+			copy(r, b)
+			r.AXPY(-1, av)
+		}
+		return x, ChebyResult{Iterations: iters}, nil
+	}
+
+	sigma := theta / delta
+	rho := 1 / sigma
+
+	if opts.OnIteration != nil {
+		opts.OnIteration()
+	}
+	z, err := bSolve(r)
+	if err != nil {
+		return nil, ChebyResult{}, err
+	}
+	d := z.Clone()
+	d.Scale(1 / theta)
+
+	count := 1
+	for k := 1; k < iters; k++ {
+		if opts.OnIteration != nil {
+			opts.OnIteration()
+		}
+		x.AXPY(1, d)
+		a.Apply(av, d)
+		r.AXPY(-1, av)
+		z, err = bSolve(r)
+		if err != nil {
+			return nil, ChebyResult{}, err
+		}
+		rhoNext := 1 / (2*sigma - rho)
+		for i := range d {
+			d[i] = rhoNext*rho*d[i] + 2*rhoNext/delta*z[i]
+		}
+		rho = rhoNext
+		count++
+	}
+	x.AXPY(1, d)
+	return x, ChebyResult{Iterations: count}, nil
+}
+
+// ChebyIterationBound returns the iteration count the theory prescribes for
+// a given kappa and eps: O(sqrt(kappa) log(1/eps)). Exposed so experiments
+// can compare measured against predicted counts.
+func ChebyIterationBound(kappa, eps float64) int {
+	return int(math.Ceil(math.Sqrt(kappa)*math.Log(2/eps))) + 1
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a square dense matrix in row-major order, used for small-scale
+// verification (exact solves that the tests compare iterative results
+// against) and for the internal solves of globally-known sparsifiers when n
+// is small.
+type Dense struct {
+	n int
+	a []float64
+}
+
+var _ Operator = (*Dense)(nil)
+
+// ErrNotPD reports a Cholesky factorization attempted on a matrix that is
+// not (numerically) positive definite.
+var ErrNotPD = errors.New("linalg: matrix is not positive definite")
+
+// NewDense returns the n x n zero matrix.
+func NewDense(n int) *Dense { return &Dense{n: n, a: make([]float64, n*n)} }
+
+// Dim returns n.
+func (d *Dense) Dim() int { return d.n }
+
+// At returns element (i,j).
+func (d *Dense) At(i, j int) float64 { return d.a[i*d.n+j] }
+
+// Set assigns element (i,j).
+func (d *Dense) Set(i, j int, v float64) { d.a[i*d.n+j] = v }
+
+// Add increments element (i,j) by v.
+func (d *Dense) Add(i, j int, v float64) { d.a[i*d.n+j] += v }
+
+// Apply computes dst = D*src.
+func (d *Dense) Apply(dst, src Vec) {
+	for i := 0; i < d.n; i++ {
+		row := d.a[i*d.n : (i+1)*d.n]
+		var s float64
+		for j, v := range src {
+			s += row[j] * v
+		}
+		dst[i] = s
+	}
+}
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.n)
+	copy(c.a, d.a)
+	return c
+}
+
+// Cholesky computes the lower-triangular factor of a symmetric positive
+// definite matrix, returning a solver for systems with it.
+func (d *Dense) Cholesky() (*CholeskyFactor, error) {
+	n := d.n
+	l := d.Clone()
+	for j := 0; j < n; j++ {
+		diag := l.At(j, j)
+		for k := 0; k < j; k++ {
+			diag -= l.At(j, k) * l.At(j, k)
+		}
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, fmt.Errorf("%w: pivot %d is %v", ErrNotPD, j, diag)
+		}
+		diag = math.Sqrt(diag)
+		l.Set(j, j, diag)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/diag)
+		}
+	}
+	// Zero the (unused) upper triangle for cleanliness.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Set(i, j, 0)
+		}
+	}
+	return &CholeskyFactor{l: l}, nil
+}
+
+// CholeskyFactor is a lower-triangular Cholesky factor L with A = L L^T.
+type CholeskyFactor struct {
+	l *Dense
+}
+
+// Solve computes x with A x = b via forward/back substitution.
+func (c *CholeskyFactor) Solve(b Vec) Vec {
+	n := c.l.n
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	return y
+}
+
+// LaplacianPseudoSolve solves L x = b for a connected graph's Laplacian
+// given as a dense matrix, where b must be orthogonal to the all-ones
+// vector. It uses the identity L^+ b = (L + (1/n) J)^{-1} b, which holds
+// because J annihilates range(L) and LL^+ projects onto it. The returned x
+// has zero mean. This is the reference exact solver the tests compare
+// iterative solvers against.
+func LaplacianPseudoSolve(l *Dense, b Vec) (Vec, error) {
+	n := l.Dim()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d for matrix dimension %d", len(b), n)
+	}
+	shift := l.Clone()
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			shift.Add(i, j, inv)
+		}
+	}
+	f, err := shift.Cholesky()
+	if err != nil {
+		return nil, fmt.Errorf("linalg: pseudo-solve shift factorization (graph disconnected?): %w", err)
+	}
+	bb := b.Clone()
+	bb.RemoveMean()
+	x := f.Solve(bb)
+	x.RemoveMean()
+	return x, nil
+}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dense symmetric eigensolver (cyclic Jacobi rotations) and the exact
+// generalized-eigenvalue oracle built on it. These are test/measurement
+// utilities: O(n^3) per sweep, intended for n up to a few hundred, used to
+// ground-truth the iterative pencil estimators.
+
+// ErrNotSymmetric reports a matrix that is not (numerically) symmetric.
+var ErrNotSymmetric = errors.New("linalg: matrix is not symmetric")
+
+// SymEigen computes all eigenvalues and eigenvectors of a symmetric matrix
+// by the cyclic Jacobi method. Eigenvalues are returned ascending;
+// column j of the returned matrix is the eigenvector for eigenvalue j.
+func (d *Dense) SymEigen() ([]float64, *Dense, error) {
+	n := d.n
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(d.At(i, j)-d.At(j, i)) > 1e-9*(1+math.Abs(d.At(i, j))) {
+				return nil, nil, fmt.Errorf("%w: entry (%d,%d)", ErrNotSymmetric, i, j)
+			}
+		}
+	}
+	a := d.Clone()
+	v := NewDense(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-24*(1+frobeniusSq(a)) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+	type pair struct {
+		lam float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{lam: a.At(i, i), col: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].lam < pairs[j].lam })
+	lams := make([]float64, n)
+	vecs := NewDense(n)
+	for j, p := range pairs {
+		lams[j] = p.lam
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, v.At(i, p.col))
+		}
+	}
+	return lams, vecs, nil
+}
+
+func frobeniusSq(d *Dense) float64 {
+	var s float64
+	for _, x := range d.a {
+		s += x * x
+	}
+	return s
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to a (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(a, v *Dense, p, q int, c, s float64) {
+	n := a.n
+	for k := 0; k < n; k++ {
+		akp, akq := a.At(k, p), a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a.At(p, k), a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// PencilEigenDense returns ALL generalized eigenvalues of the pencil
+// (A, B) restricted to range(B), exactly (up to dense eigensolver
+// accuracy): eigendecompose B, drop its (near-)null directions, whiten,
+// and eigendecompose the projected A. This is the ground-truth oracle the
+// iterative estimators are tested against.
+func PencilEigenDense(a, b *Dense, nullTol float64) ([]float64, error) {
+	if a.Dim() != b.Dim() {
+		return nil, fmt.Errorf("linalg: pencil dimensions %d and %d differ", a.Dim(), b.Dim())
+	}
+	n := a.Dim()
+	bLams, bVecs, err := b.SymEigen()
+	if err != nil {
+		return nil, fmt.Errorf("linalg: pencil B eigen: %w", err)
+	}
+	maxLam := bLams[len(bLams)-1]
+	if maxLam <= 0 {
+		return nil, fmt.Errorf("linalg: B has no positive spectrum")
+	}
+	if nullTol <= 0 {
+		nullTol = 1e-10
+	}
+	// Whitening basis W: columns q_i / sqrt(lam_i) over the kept spectrum.
+	var keep []int
+	for i, lam := range bLams {
+		if lam > nullTol*maxLam {
+			keep = append(keep, i)
+		}
+	}
+	r := len(keep)
+	if r == 0 {
+		return nil, fmt.Errorf("linalg: B numerically zero")
+	}
+	w := make([][]float64, r)
+	for j, idx := range keep {
+		col := make([]float64, n)
+		inv := 1 / math.Sqrt(bLams[idx])
+		for i := 0; i < n; i++ {
+			col[i] = bVecs.At(i, idx) * inv
+		}
+		w[j] = col
+	}
+	// S = W^T A W (r x r), symmetric.
+	s := NewDense(r)
+	aw := make([][]float64, r)
+	for j := 0; j < r; j++ {
+		av := NewVec(n)
+		a.Apply(av, w[j])
+		aw[j] = av
+	}
+	for i := 0; i < r; i++ {
+		for j := i; j < r; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += w[i][k] * aw[j][k]
+			}
+			s.Set(i, j, dot)
+			s.Set(j, i, dot)
+		}
+	}
+	lams, _, err := s.SymEigen()
+	if err != nil {
+		return nil, fmt.Errorf("linalg: pencil S eigen: %w", err)
+	}
+	return lams, nil
+}

@@ -1,0 +1,148 @@
+// Package linalg provides the numerical kernels of the reproduction: vector
+// arithmetic, graph Laplacian operators, conjugate gradients for internal
+// high-precision solves, the preconditioned Chebyshev iteration of
+// Theorem 2.2, and eigenvalue estimation for measuring the effective
+// approximation factor of a spectral sparsifier.
+//
+// All routines use exact-size float64 slices; per the paper (footnote on
+// precision), Omega(1/poly(m)) precision suffices for the interior point
+// methods, which float64 comfortably provides.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense vector of float64.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// Zero sets all entries of v to 0 in place.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch,
+// which always indicates a programming error rather than bad input.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: dot of vectors with lengths %d and %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormInf returns the maximum absolute entry of v.
+func (v Vec) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY sets v = v + a*w in place.
+func (v Vec) AXPY(a float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: axpy of vectors with lengths %d and %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Scale sets v = a*v in place.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Sub returns v - w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	r := v.Clone()
+	r.AXPY(-1, w)
+	return r
+}
+
+// Add returns v + w as a new vector.
+func (v Vec) Add(w Vec) Vec {
+	r := v.Clone()
+	r.AXPY(1, w)
+	return r
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the average entry of v (0 for the empty vector).
+func (v Vec) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// RemoveMean subtracts the mean from every entry in place, projecting v onto
+// the subspace orthogonal to the all-ones vector. Laplacian systems L x = b
+// are solvable exactly when b lies in this subspace (for connected graphs).
+func (v Vec) RemoveMean() {
+	m := v.Mean()
+	for i := range v {
+		v[i] -= m
+	}
+}
+
+// RemoveMeanOn subtracts, for each index group, the group's mean — the
+// per-connected-component generalization of RemoveMean. comp[i] gives the
+// component id of index i; ids must be in [0, numComp).
+func (v Vec) RemoveMeanOn(comp []int, numComp int) {
+	if len(comp) != len(v) {
+		panic(fmt.Sprintf("linalg: component labels length %d for vector length %d", len(comp), len(v)))
+	}
+	sums := make([]float64, numComp)
+	counts := make([]int, numComp)
+	for i, c := range comp {
+		sums[c] += v[i]
+		counts[c]++
+	}
+	for i, c := range comp {
+		v[i] -= sums[c] / float64(counts[c])
+	}
+}
+
+// IsFinite reports whether every entry of v is finite.
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := v.Mean(); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := w.NormInf(); got != 6 {
+		t.Fatalf("NormInf = %v, want 6", got)
+	}
+	s := v.Sub(w)
+	if s[0] != -3 || s[1] != -3 || s[2] != -3 {
+		t.Fatalf("Sub = %v", s)
+	}
+	a := v.Add(w)
+	if a[0] != 5 || a[1] != 7 || a[2] != 9 {
+		t.Fatalf("Add = %v", a)
+	}
+	v.AXPY(2, w)
+	if v[0] != 9 || v[1] != 12 || v[2] != 15 {
+		t.Fatalf("AXPY = %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 4.5 {
+		t.Fatalf("Scale = %v", v)
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatalf("Zero left %v", v)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch should panic")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestRemoveMean(t *testing.T) {
+	v := Vec{1, 2, 3, 6}
+	v.RemoveMean()
+	if math.Abs(v.Sum()) > 1e-12 {
+		t.Fatalf("sum after RemoveMean = %v", v.Sum())
+	}
+}
+
+func TestRemoveMeanOn(t *testing.T) {
+	v := Vec{1, 3, 10, 30}
+	comp := []int{0, 0, 1, 1}
+	v.RemoveMeanOn(comp, 2)
+	if v[0] != -1 || v[1] != 1 {
+		t.Fatalf("component 0 = %v %v", v[0], v[1])
+	}
+	if v[2] != -10 || v[3] != 10 {
+		t.Fatalf("component 1 = %v %v", v[2], v[3])
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vec{1, 2}).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if (Vec{1, math.NaN()}).IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	if (Vec{math.Inf(1)}).IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+// Property: RemoveMean is idempotent and norm-nonincreasing.
+func TestRemoveMeanProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := Vec(raw).Clone()
+		for i := range v {
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				v[i] = 0
+			}
+			// Bound magnitudes so the mean subtraction stays well-conditioned.
+			v[i] = math.Mod(v[i], 1e6)
+		}
+		before := v.Norm2()
+		v.RemoveMean()
+		after := v.Norm2()
+		once := v.Clone()
+		v.RemoveMean()
+		for i := range v {
+			if math.Abs(v[i]-once[i]) > 1e-9*(1+math.Abs(once[i])) {
+				return false
+			}
+		}
+		return after <= before*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

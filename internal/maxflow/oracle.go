@@ -1,0 +1,237 @@
+// Package maxflow implements the deterministic congested-clique maximum
+// flow algorithm of Theorem 1.2 — Mądry's interior-point method driven by
+// the Theorem 1.1 Laplacian solver, with Cohen flow rounding and a final
+// augmenting-path stage — together with the exact combinatorial algorithms
+// the paper compares against in section 1.1 (Ford-Fulkerson with
+// O(n^0.158)-round reachability, and the trivial gather-everything
+// algorithm), which double as correctness oracles for the tests.
+package maxflow
+
+import (
+	"errors"
+	"fmt"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/rounds"
+)
+
+// ErrBadEndpoints reports s == t or out-of-range endpoints.
+var ErrBadEndpoints = errors.New("maxflow: bad source/sink")
+
+// residualNet is a standard residual network over paired arcs: arc 2i is
+// the forward copy of input arc i, arc 2i+1 its reverse.
+type residualNet struct {
+	n    int
+	head []int // arc -> target vertex
+	cap  []int64
+	adj  [][]int // vertex -> arc ids
+}
+
+func newResidual(dg *graph.DiGraph) *residualNet {
+	r := &residualNet{
+		n:    dg.N(),
+		head: make([]int, 0, 2*dg.M()),
+		cap:  make([]int64, 0, 2*dg.M()),
+		adj:  make([][]int, dg.N()),
+	}
+	for _, a := range dg.Arcs() {
+		r.addPair(a.From, a.To, a.Cap)
+	}
+	return r
+}
+
+func (r *residualNet) addPair(from, to int, capacity int64) {
+	r.adj[from] = append(r.adj[from], len(r.head))
+	r.head = append(r.head, to)
+	r.cap = append(r.cap, capacity)
+	r.adj[to] = append(r.adj[to], len(r.head))
+	r.head = append(r.head, from)
+	r.cap = append(r.cap, 0)
+}
+
+// flowOn returns the flow pushed through input arc i (the reverse copy's
+// residual capacity).
+func (r *residualNet) flowOn(i int) int64 { return r.cap[2*i+1] }
+
+// Dinic computes the exact maximum s-t flow value and per-arc flows. It is
+// the correctness oracle for the IPM path and the engine behind the final
+// augmentation stage.
+func Dinic(dg *graph.DiGraph, s, t int) (int64, []int64, error) {
+	if err := checkEndpoints(dg, s, t); err != nil {
+		return 0, nil, err
+	}
+	r := newResidual(dg)
+	total := r.run(s, t)
+	flows := make([]int64, dg.M())
+	for i := range flows {
+		flows[i] = r.flowOn(i)
+	}
+	return total, flows, nil
+}
+
+func (r *residualNet) run(s, t int) int64 {
+	var total int64
+	level := make([]int, r.n)
+	iter := make([]int, r.n)
+	for r.bfs(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := r.dfs(s, t, int64(1)<<62, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (r *residualNet) bfs(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range r.adj[v] {
+			if r.cap[ai] > 0 && level[r.head[ai]] < 0 {
+				level[r.head[ai]] = level[v] + 1
+				queue = append(queue, r.head[ai])
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+func (r *residualNet) dfs(v, t int, limit int64, level, iter []int) int64 {
+	if v == t {
+		return limit
+	}
+	for ; iter[v] < len(r.adj[v]); iter[v]++ {
+		ai := r.adj[v][iter[v]]
+		w := r.head[ai]
+		if r.cap[ai] <= 0 || level[w] != level[v]+1 {
+			continue
+		}
+		lim := limit
+		if r.cap[ai] < lim {
+			lim = r.cap[ai]
+		}
+		pushed := r.dfs(w, t, lim, level, iter)
+		if pushed > 0 {
+			r.cap[ai] -= pushed
+			r.cap[ai^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// FordFulkersonResult reports the section 1.1 baseline run.
+type FordFulkersonResult struct {
+	Value int64
+	// Augmentations is the number of augmenting-path iterations |f*|-ish;
+	// the baseline's round count is Augmentations * APSPRounds(n).
+	Augmentations int
+	// Rounds is the charged round count of the baseline.
+	Rounds int64
+}
+
+// FordFulkerson runs the Edmonds-Karp variant (BFS augmenting paths,
+// augmenting by the bottleneck), counting iterations and charging
+// O(n^0.158) reachability rounds per iteration, exactly as section 1.1
+// prices the baseline. The ledger may be nil.
+func FordFulkerson(dg *graph.DiGraph, s, t int, led *rounds.Ledger) (*FordFulkersonResult, error) {
+	if err := checkEndpoints(dg, s, t); err != nil {
+		return nil, err
+	}
+	r := newResidual(dg)
+	res := &FordFulkersonResult{}
+	parent := make([]int, r.n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ai := range r.adj[v] {
+				w := r.head[ai]
+				if r.cap[ai] > 0 && parent[w] == -1 {
+					parent[w] = ai
+					queue = append(queue, w)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			break
+		}
+		res.Augmentations++
+		res.Rounds += rounds.APSPRounds(r.n)
+		if led != nil {
+			led.Add("ff-reachability", rounds.Charged, rounds.APSPRounds(r.n), rounds.CiteFF)
+		}
+		// Bottleneck along the found path.
+		bottleneck := int64(1) << 62
+		for v := t; v != s; {
+			ai := parent[v]
+			if r.cap[ai] < bottleneck {
+				bottleneck = r.cap[ai]
+			}
+			v = r.head[ai^1]
+		}
+		for v := t; v != s; {
+			ai := parent[v]
+			r.cap[ai] -= bottleneck
+			r.cap[ai^1] += bottleneck
+			v = r.head[ai^1]
+		}
+		res.Value += bottleneck
+	}
+	return res, nil
+}
+
+// TrivialRounds returns the charged round count of the gather-everything
+// baseline for this instance (section 1.1).
+func TrivialRounds(dg *graph.DiGraph) int64 {
+	return rounds.TrivialGatherRounds(dg.N(), dg.M(), dg.MaxCapacity())
+}
+
+func checkEndpoints(dg *graph.DiGraph, s, t int) error {
+	if s < 0 || s >= dg.N() || t < 0 || t >= dg.N() || s == t {
+		return fmt.Errorf("%w: s=%d t=%d n=%d", ErrBadEndpoints, s, t, dg.N())
+	}
+	return nil
+}
+
+// CheckFlow verifies that f is a feasible s-t flow on dg and returns its
+// value. It reports capacity violations, negative flows, and conservation
+// violations as errors.
+func CheckFlow(dg *graph.DiGraph, f []int64, s, t int) (int64, error) {
+	if len(f) != dg.M() {
+		return 0, fmt.Errorf("maxflow: %d flow values for %d arcs", len(f), dg.M())
+	}
+	imbalance := make([]int64, dg.N())
+	for i, a := range dg.Arcs() {
+		if f[i] < 0 {
+			return 0, fmt.Errorf("maxflow: negative flow %d on arc %d", f[i], i)
+		}
+		if f[i] > a.Cap {
+			return 0, fmt.Errorf("maxflow: arc %d flow %d exceeds capacity %d", i, f[i], a.Cap)
+		}
+		imbalance[a.From] -= f[i]
+		imbalance[a.To] += f[i]
+	}
+	for v, d := range imbalance {
+		if v != s && v != t && d != 0 {
+			return 0, fmt.Errorf("maxflow: conservation violated at vertex %d (imbalance %d)", v, d)
+		}
+	}
+	return -imbalance[s], nil
+}

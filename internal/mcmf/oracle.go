@@ -1,0 +1,195 @@
+// Package mcmf implements the deterministic congested-clique unit-capacity
+// minimum cost flow algorithm of Theorem 1.3 — the Cohen-Mądry-Sankowski-
+// Vladu [CMSV17] interior point method on the bipartite lifting, driven by
+// the Theorem 1.1 Laplacian solver, with Cohen flow rounding and the
+// Repairing augmentation stage — plus an independent successive-shortest-
+// path oracle used as the correctness reference.
+package mcmf
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"lapcc/internal/graph"
+)
+
+// ErrBadDemand reports a demand vector that does not sum to zero or has the
+// wrong length.
+var ErrBadDemand = errors.New("mcmf: demand vector must have length n and sum to zero")
+
+// ErrInfeasible reports that the demands cannot be routed.
+var ErrInfeasible = errors.New("mcmf: demands are infeasible")
+
+// checkDemand validates sigma against dg.
+func checkDemand(dg *graph.DiGraph, sigma []int64) error {
+	if len(sigma) != dg.N() {
+		return fmt.Errorf("%w: length %d for n=%d", ErrBadDemand, len(sigma), dg.N())
+	}
+	var sum int64
+	for _, s := range sigma {
+		sum += s
+	}
+	if sum != 0 {
+		return fmt.Errorf("%w: sum %d", ErrBadDemand, sum)
+	}
+	return nil
+}
+
+// ssArc is the internal residual arc of the oracle.
+type ssArc struct {
+	to   int
+	cap  int64
+	cost int64
+}
+
+type ssNet struct {
+	n    int
+	arcs []ssArc
+	adj  [][]int
+}
+
+func (net *ssNet) add(from, to int, capacity, cost int64) int {
+	id := len(net.arcs)
+	net.arcs = append(net.arcs, ssArc{to: to, cap: capacity, cost: cost})
+	net.adj[from] = append(net.adj[from], id)
+	net.arcs = append(net.arcs, ssArc{to: from, cap: 0, cost: -cost})
+	net.adj[to] = append(net.adj[to], id+1)
+	return id
+}
+
+// Solve computes the exact minimum-cost routing of the demand vector sigma
+// on the unit-capacity digraph dg via successive shortest paths with
+// Johnson potentials. It returns the per-arc 0/1 flow and the total cost.
+func Solve(dg *graph.DiGraph, sigma []int64) ([]int64, int64, error) {
+	if err := checkDemand(dg, sigma); err != nil {
+		return nil, 0, err
+	}
+	n := dg.N()
+	net := &ssNet{n: n + 2, adj: make([][]int, n+2)}
+	S, T := n, n+1
+	arcIDs := make([]int, dg.M())
+	for i, a := range dg.Arcs() {
+		if a.Cost < 0 {
+			return nil, 0, fmt.Errorf("mcmf: negative arc cost %d (Theorem 1.3 takes costs in {1..W})", a.Cost)
+		}
+		arcIDs[i] = net.add(a.From, a.To, a.Cap, a.Cost)
+	}
+	var need int64
+	for v, s := range sigma {
+		if s > 0 {
+			net.add(S, v, s, 0)
+			need += s
+		} else if s < 0 {
+			net.add(v, T, -s, 0)
+		}
+	}
+
+	// Successive shortest paths with potentials; all costs non-negative so
+	// plain Dijkstra works from the start.
+	pot := make([]int64, net.n)
+	dist := make([]int64, net.n)
+	parent := make([]int, net.n)
+	const inf = int64(1) << 60
+	var total int64
+	var routed int64
+	for routed < need {
+		for i := range dist {
+			dist[i] = inf
+			parent[i] = -1
+		}
+		dist[S] = 0
+		h := &costPQ{{v: S}}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(costItem)
+			if it.d > dist[it.v] {
+				continue
+			}
+			for _, ai := range net.adj[it.v] {
+				a := net.arcs[ai]
+				if a.cap <= 0 {
+					continue
+				}
+				nd := it.d + a.cost + pot[it.v] - pot[a.to]
+				if nd < dist[a.to] {
+					dist[a.to] = nd
+					parent[a.to] = ai
+					heap.Push(h, costItem{v: a.to, d: nd})
+				}
+			}
+		}
+		if dist[T] >= inf {
+			return nil, 0, ErrInfeasible
+		}
+		for v := 0; v < net.n; v++ {
+			if dist[v] < inf {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck and augment.
+		bottleneck := need - routed
+		for v := T; v != S; {
+			ai := parent[v]
+			if net.arcs[ai].cap < bottleneck {
+				bottleneck = net.arcs[ai].cap
+			}
+			v = net.arcs[ai^1].to
+		}
+		for v := T; v != S; {
+			ai := parent[v]
+			net.arcs[ai].cap -= bottleneck
+			net.arcs[ai^1].cap += bottleneck
+			total += bottleneck * net.arcs[ai].cost
+			v = net.arcs[ai^1].to
+		}
+		routed += bottleneck
+	}
+	flow := make([]int64, dg.M())
+	for i, id := range arcIDs {
+		flow[i] = net.arcs[id^1].cap
+	}
+	return flow, total, nil
+}
+
+type costItem struct {
+	v int
+	d int64
+}
+
+type costPQ []costItem
+
+func (p costPQ) Len() int            { return len(p) }
+func (p costPQ) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p costPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *costPQ) Push(x interface{}) { *p = append(*p, x.(costItem)) }
+func (p *costPQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// CheckRouting verifies that flow routes sigma on dg within unit capacities
+// and returns its cost.
+func CheckRouting(dg *graph.DiGraph, flow []int64, sigma []int64) (int64, error) {
+	if len(flow) != dg.M() {
+		return 0, fmt.Errorf("mcmf: %d flow values for %d arcs", len(flow), dg.M())
+	}
+	imbalance := make([]int64, dg.N())
+	var cost int64
+	for i, a := range dg.Arcs() {
+		if flow[i] < 0 || flow[i] > a.Cap {
+			return 0, fmt.Errorf("mcmf: arc %d flow %d outside [0, %d]", i, flow[i], a.Cap)
+		}
+		imbalance[a.From] -= flow[i]
+		imbalance[a.To] += flow[i]
+		cost += flow[i] * a.Cost
+	}
+	for v := range imbalance {
+		if imbalance[v] != -sigma[v] {
+			return 0, fmt.Errorf("mcmf: vertex %d routes %d, demand %d", v, -imbalance[v], sigma[v])
+		}
+	}
+	return cost, nil
+}

@@ -1,0 +1,20 @@
+package mst_test
+
+import (
+	"fmt"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/mst"
+)
+
+// ExampleBoruvka computes a spanning tree of a weighted triangle with the
+// congested-clique Boruvka algorithm.
+func ExampleBoruvka() {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 3)
+	res, _ := mst.Boruvka(g, nil)
+	fmt.Println("tree weight:", res.Weight)
+	// Output: tree weight: 3
+}

@@ -1,0 +1,152 @@
+package mst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/rounds"
+)
+
+func TestKruskalKnown(t *testing.T) {
+	// Triangle with weights 1,2,3: MST = {1,2} edges, weight 3.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 3)
+	ids, w := Kruskal(g)
+	if len(ids) != 2 || w != 3 {
+		t.Fatalf("ids=%v w=%v", ids, w)
+	}
+}
+
+func TestKruskalForestOnDisconnected(t *testing.T) {
+	g := graph.New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 2)
+	ids, w := Kruskal(g)
+	if len(ids) != 2 || w != 3 {
+		t.Fatalf("ids=%v w=%v", ids, w)
+	}
+}
+
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		base, err := graph.ConnectedGNM(40, 100, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.WithRandomWeights(base, 50, seed+100)
+		led := rounds.New()
+		res, err := Boruvka(g, led)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, want := Kruskal(g)
+		if math.Abs(res.Weight-want) > 1e-9 {
+			t.Fatalf("seed %d: Boruvka weight %v != Kruskal %v", seed, res.Weight, want)
+		}
+		if len(res.EdgeIDs) != g.N()-1 {
+			t.Fatalf("seed %d: %d tree edges for n=%d", seed, len(res.EdgeIDs), g.N())
+		}
+		if led.Total() == 0 {
+			t.Fatal("no rounds recorded")
+		}
+	}
+}
+
+func TestBoruvkaEqualWeights(t *testing.T) {
+	// All-equal weights exercise the deterministic tie-breaking; any
+	// spanning tree of K8 has weight 7.
+	g := graph.Complete(8)
+	res, err := Boruvka(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 7 || len(res.EdgeIDs) != 7 {
+		t.Fatalf("weight %v edges %d", res.Weight, len(res.EdgeIDs))
+	}
+}
+
+func TestBoruvkaDisconnectedForest(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(3, 4, 5)
+	res, err := Boruvka(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components {0,1,2}: MST edges weight 1+2; {3,4}: 5; {5}: none.
+	if math.Abs(res.Weight-8) > 1e-9 || len(res.EdgeIDs) != 3 {
+		t.Fatalf("weight %v edges %v", res.Weight, res.EdgeIDs)
+	}
+}
+
+func TestBoruvkaPhasesLogarithmic(t *testing.T) {
+	base, err := graph.ConnectedGNM(256, 1024, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.WithRandomWeights(base, 1000, 10)
+	res, err := Boruvka(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases > 10 { // log2(256) = 8, plus slack
+		t.Fatalf("%d phases for n=256; want <= log n + slack", res.Phases)
+	}
+}
+
+func TestBoruvkaRoundsScaleLogarithmically(t *testing.T) {
+	roundsAt := func(n int) int64 {
+		base, err := graph.ConnectedGNM(n, 3*n, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.WithRandomWeights(base, 100, int64(n))
+		led := rounds.New()
+		if _, err := Boruvka(g, led); err != nil {
+			t.Fatal(err)
+		}
+		return led.Total()
+	}
+	r64, r1024 := roundsAt(64), roundsAt(1024)
+	if r1024 > 4*r64 {
+		t.Fatalf("rounds grew %d -> %d; want logarithmic growth", r64, r1024)
+	}
+}
+
+func TestLotkerRoundsShape(t *testing.T) {
+	if LotkerRounds(2) != 1 {
+		t.Fatal("tiny n should cost 1")
+	}
+	// log log shape: going from 2^8 to 2^64 should only double-ish.
+	r8 := LotkerRounds(1 << 8)
+	r64 := LotkerRounds(1 << 62)
+	if r64 > 3*r8 {
+		t.Fatalf("LotkerRounds grew %d -> %d; want log log growth", r8, r64)
+	}
+}
+
+// Property: Boruvka equals Kruskal in weight on random weighted graphs.
+func TestBoruvkaKruskalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		base, err := graph.ConnectedGNM(16, 40, seed)
+		if err != nil {
+			return false
+		}
+		g := graph.WithRandomWeights(base, 9, seed+1)
+		res, err := Boruvka(g, nil)
+		if err != nil {
+			return false
+		}
+		_, want := Kruskal(g)
+		return math.Abs(res.Weight-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

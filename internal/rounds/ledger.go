@@ -1,0 +1,295 @@
+// Package rounds provides the round-cost accounting for the congested
+// clique reproduction.
+//
+// The congested clique charges one round per synchronous communication step;
+// local computation is free. Two kinds of costs flow into a Ledger:
+//
+//   - measured costs: rounds actually executed by the message-passing
+//     simulator in internal/cc (broadcasts, routing, cycle contraction);
+//   - charged costs: rounds for subroutines the paper uses as cited black
+//     boxes (e.g. the O(n^0.158) APSP of CKKL+19, the CS20 expander
+//     decomposition), whose distributed implementations are out of scope for
+//     any reproduction. Each charge carries a citation tag so experiment
+//     reports can separate the two.
+package rounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind distinguishes measured from charged costs.
+type Kind int
+
+// Kinds of ledger entries.
+const (
+	// Measured marks rounds actually executed by the simulator.
+	Measured Kind = iota + 1
+	// Charged marks rounds charged per a cited theorem.
+	Charged
+)
+
+// String returns "measured" or "charged".
+func (k Kind) String() string {
+	switch k {
+	case Measured:
+		return "measured"
+	case Charged:
+		return "charged"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Entry aggregates all costs recorded under one tag.
+type Entry struct {
+	Tag    string
+	Kind   Kind
+	Rounds int64
+	Calls  int64
+	Cite   string
+}
+
+// Ledger accumulates round costs. The zero value is not usable; call New.
+// A Ledger is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	order   []string
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{entries: make(map[string]*Entry)}
+}
+
+// Add records r rounds under the given tag. The cite string documents the
+// source of a Charged formula (ignored for Measured entries after first
+// use). Negative r is a programming error and panics.
+func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
+	if r < 0 {
+		panic(fmt.Sprintf("rounds: negative charge %d for %q", r, tag))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[tag]
+	if !ok {
+		e = &Entry{Tag: tag, Kind: kind, Cite: cite}
+		l.entries[tag] = e
+		l.order = append(l.order, tag)
+	}
+	e.Rounds += r
+	e.Calls++
+}
+
+// Total returns the sum of all recorded rounds.
+func (l *Ledger) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for _, e := range l.entries {
+		t += e.Rounds
+	}
+	return t
+}
+
+// TotalOf returns the sum of rounds of the given kind.
+func (l *Ledger) TotalOf(kind Kind) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for _, e := range l.entries {
+		if e.Kind == kind {
+			t += e.Rounds
+		}
+	}
+	return t
+}
+
+// Entries returns a copy of all entries in first-recorded order.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.order))
+	for _, tag := range l.order {
+		out = append(out, *l.entries[tag])
+	}
+	return out
+}
+
+// Report renders a human-readable multi-line summary, entries sorted by
+// descending round count.
+func (l *Ledger) Report() string {
+	es := l.Entries()
+	sort.Slice(es, func(i, j int) bool { return es[i].Rounds > es[j].Rounds })
+	var b strings.Builder
+	fmt.Fprintf(&b, "total rounds: %d (measured %d, charged %d)\n",
+		l.Total(), l.TotalOf(Measured), l.TotalOf(Charged))
+	for _, e := range es {
+		fmt.Fprintf(&b, "  %-28s %10d rounds  %6d calls  [%s] %s\n",
+			e.Tag, e.Rounds, e.Calls, e.Kind, e.Cite)
+	}
+	return b.String()
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = make(map[string]*Entry)
+	l.order = nil
+}
+
+// Cost formulas for cited subroutines. Constants are the smallest the cited
+// statements support; EXPERIMENTS.md reports them alongside results.
+
+// APSPRounds returns the round cost of one (1+o(1))-approximate weighted
+// directed APSP in the congested clique: O(n^0.158) per Censor-Hillel,
+// Kaski, Korhonen, Lenzen, Paz, Suomela [CKKL+19].
+func APSPRounds(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(math.Ceil(math.Pow(float64(n), 0.158)))
+}
+
+// CiteAPSP is the citation string for APSPRounds charges.
+const CiteAPSP = "CKKL+19 approx APSP, O(n^0.158)"
+
+// LenzenRoundBound is the constant-round bound for delivering any message
+// set in which every node sends and receives at most n messages (Lenzen's
+// routing theorem); the paper charges 16 rounds per invocation.
+const LenzenRoundBound = 16
+
+// CiteLenzen is the citation string for Lenzen routing charges.
+const CiteLenzen = "Len13 deterministic routing, <= 16 rounds"
+
+// ExpanderDecompRounds returns the round cost of one (eps, phi)-expander
+// decomposition per Chang-Saranurak [CS20]: eps^{-O(1)} * n^{O(gamma)}
+// deterministic rounds. We instantiate the O(1) exponents at 2 and 1, the
+// smallest the theorem statement supports.
+func ExpanderDecompRounds(n int, eps, gamma float64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	r := math.Pow(eps, -2) * math.Pow(float64(n), gamma)
+	return int64(math.Ceil(r))
+}
+
+// CiteCS20 is the citation string for expander decomposition charges.
+const CiteCS20 = "CS20 deterministic expander decomposition"
+
+// TrivialGatherRounds returns the round count of the trivial deterministic
+// algorithm of section 1.1: make all m edges (with log U-bit capacities)
+// global and solve internally. Each edge description is
+// O(log n + log U) bits = O(1 + log U / log n) machine words; the clique
+// moves n(n-1) words per round.
+func TrivialGatherRounds(n, m int, maxWeight int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	wordsPerEdge := 1 + int64(math.Ceil(bitsOf(maxWeight)/math.Log2(float64(n)+1)))
+	totalWords := int64(m) * wordsPerEdge
+	perRound := int64(n) * int64(n-1)
+	r := (totalWords + perRound - 1) / perRound
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// CiteTrivial is the citation string for the trivial gather baseline.
+const CiteTrivial = "trivial gather-all baseline, O(n log U)"
+
+// FordFulkersonRounds returns the round count of the Ford-Fulkerson baseline
+// of section 1.1: |f*| iterations of s-t reachability at O(n^0.158) rounds
+// each (via CKKL+19).
+func FordFulkersonRounds(flowValue int64, n int) int64 {
+	return flowValue * APSPRounds(n)
+}
+
+// CiteFF is the citation string for the Ford-Fulkerson baseline.
+const CiteFF = "FF56 + CKKL+19 reachability, O(|f*| n^0.158)"
+
+func bitsOf(v int64) float64 {
+	if v <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(v) + 1))
+}
+
+// LogStar returns the iterated logarithm log* n (base 2): the number of
+// times log2 must be applied before the value drops to <= 1. It appears in
+// the Cole-Vishkin bound of Theorem 1.4.
+func LogStar(n int) int {
+	count := 0
+	x := float64(n)
+	for x > 1 {
+		x = math.Log2(x)
+		count++
+		if count > 8 { // log* of anything representable is < 6
+			break
+		}
+	}
+	return count
+}
+
+// Related-work round formulas for the section 1.1 comparison (experiment
+// E9). These are the *claimed* complexities of the cited algorithms,
+// instantiated with explicit constants of 1 and log base 2 — the comparison
+// is between growth laws, exactly as the paper argues.
+
+// CongestMaxFlowRounds is the FGLP+21 CONGEST max flow bound
+// m^{3/7} U^{1/7} (n^{o(1)}(sqrt(n)+D) + sqrt(n) D^{1/4}) + sqrt(m),
+// with the n^{o(1)} factor instantiated as log^2 n.
+func CongestMaxFlowRounds(n, m int, maxCap int64, diameter int) int64 {
+	fn := float64(n)
+	fm := float64(m)
+	d := float64(diameter)
+	iters := math.Pow(fm, 3.0/7.0) * math.Pow(float64(maxCap), 1.0/7.0)
+	perIter := math.Pow(math.Log2(fn+2), 2)*(math.Sqrt(fn)+d) + math.Sqrt(fn)*math.Pow(d, 0.25)
+	return int64(math.Ceil(iters*perIter + math.Sqrt(fm)))
+}
+
+// CiteCongestMaxFlow is the citation for CongestMaxFlowRounds.
+const CiteCongestMaxFlow = "FGLP+21 CONGEST max flow"
+
+// CongestMinCostFlowRounds is the FGLP+21 CONGEST unit-capacity min-cost
+// flow bound m^{3/7+o(1)} (sqrt(n) D^{1/4} + D) polylog W, with o(1) and
+// polylog instantiated as log^2.
+func CongestMinCostFlowRounds(n, m int, maxCost int64, diameter int) int64 {
+	fn := float64(n)
+	fm := float64(m)
+	d := float64(diameter)
+	iters := math.Pow(fm, 3.0/7.0) * math.Pow(math.Log2(fm+2), 2)
+	perIter := (math.Sqrt(fn)*math.Pow(d, 0.25) + d) * math.Pow(math.Log2(float64(maxCost)+2), 2)
+	return int64(math.Ceil(iters * perIter))
+}
+
+// CiteCongestMinCostFlow is the citation for CongestMinCostFlowRounds.
+const CiteCongestMinCostFlow = "FGLP+21 CONGEST min-cost flow"
+
+// BCCMinCostFlowRounds is the FV22 Broadcast Congested Clique min-cost
+// flow bound Õ(sqrt(n)), with the hidden polylog instantiated as log^2 n.
+// (Randomized; the paper's §1.1 notes it beats the clique algorithms on
+// sufficiently dense graphs.)
+func BCCMinCostFlowRounds(n int) int64 {
+	fn := float64(n)
+	return int64(math.Ceil(math.Sqrt(fn) * math.Pow(math.Log2(fn+2), 2)))
+}
+
+// CiteBCCMinCostFlow is the citation for BCCMinCostFlowRounds.
+const CiteBCCMinCostFlow = "FV22 BCC min-cost flow, Õ(sqrt n) randomized"
+
+// CongestLaplacianRounds is the FGLP+21 CONGEST Laplacian solver bound
+// n^{o(1)} (sqrt(n) + D) log(1/eps), o(1) as log^2 n.
+func CongestLaplacianRounds(n, diameter int, eps float64) int64 {
+	fn := float64(n)
+	return int64(math.Ceil(math.Pow(math.Log2(fn+2), 2) * (math.Sqrt(fn) + float64(diameter)) * math.Log2(1/eps+2)))
+}
+
+// CiteCongestLaplacian is the citation for CongestLaplacianRounds.
+const CiteCongestLaplacian = "FGLP+21 CONGEST Laplacian solver"

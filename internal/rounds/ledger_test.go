@@ -1,0 +1,166 @@
+package rounds
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLedgerAccumulates(t *testing.T) {
+	l := New()
+	l.Add("cheby-iter", Measured, 1, "")
+	l.Add("cheby-iter", Measured, 1, "")
+	l.Add("apsp", Charged, 5, CiteAPSP)
+	if got := l.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	if got := l.TotalOf(Measured); got != 2 {
+		t.Fatalf("measured = %d, want 2", got)
+	}
+	if got := l.TotalOf(Charged); got != 5 {
+		t.Fatalf("charged = %d, want 5", got)
+	}
+	es := l.Entries()
+	if len(es) != 2 {
+		t.Fatalf("entries = %d, want 2", len(es))
+	}
+	if es[0].Tag != "cheby-iter" || es[0].Calls != 2 {
+		t.Fatalf("first entry = %+v", es[0])
+	}
+}
+
+func TestLedgerReportMentionsCites(t *testing.T) {
+	l := New()
+	l.Add("apsp", Charged, 3, CiteAPSP)
+	r := l.Report()
+	if !strings.Contains(r, "CKKL+19") {
+		t.Fatalf("report missing citation: %s", r)
+	}
+	if !strings.Contains(r, "charged 3") {
+		t.Fatalf("report missing charged total: %s", r)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := New()
+	l.Add("x", Measured, 1, "")
+	l.Reset()
+	if l.Total() != 0 || len(l.Entries()) != 0 {
+		t.Fatal("reset did not clear ledger")
+	}
+}
+
+func TestLedgerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge should panic")
+		}
+	}()
+	New().Add("x", Measured, -1, "")
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add("par", Measured, 1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 5000 {
+		t.Fatalf("Total = %d, want 5000", got)
+	}
+}
+
+func TestAPSPRounds(t *testing.T) {
+	if got := APSPRounds(1); got != 1 {
+		t.Fatalf("APSPRounds(1) = %d", got)
+	}
+	// n = 1000: 1000^0.158 ~ 2.98 -> 3.
+	if got := APSPRounds(1000); got != 3 {
+		t.Fatalf("APSPRounds(1000) = %d, want 3", got)
+	}
+	if APSPRounds(1_000_000) <= APSPRounds(1000) {
+		t.Fatal("APSPRounds should grow with n")
+	}
+}
+
+func TestTrivialGatherRounds(t *testing.T) {
+	if got := TrivialGatherRounds(1, 100, 1); got != 0 {
+		t.Fatalf("single node = %d, want 0", got)
+	}
+	// Dense graph: m = n(n-1)/2 with unit weights needs about 1 round of
+	// words... n=10, m=45: words = 45*2 = 90, perRound = 90 -> 1.
+	if got := TrivialGatherRounds(10, 45, 1); got != 1 {
+		t.Fatalf("TrivialGatherRounds(10,45,1) = %d, want 1", got)
+	}
+	// Bigger weights need more words per edge.
+	if TrivialGatherRounds(10, 45, 1<<40) <= TrivialGatherRounds(10, 45, 1) {
+		t.Fatal("weight growth should increase rounds")
+	}
+}
+
+func TestFordFulkersonRounds(t *testing.T) {
+	if got := FordFulkersonRounds(10, 1000); got != 30 {
+		t.Fatalf("FF rounds = %d, want 30", got)
+	}
+}
+
+func TestExpanderDecompRounds(t *testing.T) {
+	r1 := ExpanderDecompRounds(1000, 0.5, 0.1)
+	r2 := ExpanderDecompRounds(1000, 0.25, 0.1)
+	if r2 <= r1 {
+		t.Fatal("smaller eps should cost more")
+	}
+	if ExpanderDecompRounds(1, 0.5, 0.1) != 1 {
+		t.Fatal("n=1 should cost 1")
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 16: 3, 65536: 4}
+	for n, want := range cases {
+		if got := LogStar(n); got != want {
+			t.Fatalf("LogStar(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if LogStar(1<<62) > 5 {
+		t.Fatal("log* of any int should be <= 5")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Measured.String() != "measured" || Charged.String() != "charged" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestRelatedWorkFormulasShapes(t *testing.T) {
+	// CONGEST costs must exceed clique-style costs and grow with n.
+	if CongestLaplacianRounds(1024, 10, 1e-8) <= 302 {
+		t.Fatal("CONGEST Laplacian formula implausibly small")
+	}
+	if CongestLaplacianRounds(4096, 12, 1e-8) <= CongestLaplacianRounds(256, 8, 1e-8) {
+		t.Fatal("CONGEST Laplacian should grow with n")
+	}
+	if CongestMaxFlowRounds(4096, 8*4096, 8, 12) <= CongestMaxFlowRounds(256, 8*256, 8, 8) {
+		t.Fatal("CONGEST max flow should grow with n")
+	}
+	if CongestMinCostFlowRounds(1024, 8192, 64, 10) <= 0 {
+		t.Fatal("CONGEST min-cost formula non-positive")
+	}
+	// BCC sqrt(n) shape: quadrupling n roughly doubles the bound (up to
+	// polylog drift).
+	r1, r4 := BCCMinCostFlowRounds(1024), BCCMinCostFlowRounds(4096)
+	if ratio := float64(r4) / float64(r1); ratio < 1.9 || ratio > 3.5 {
+		t.Fatalf("BCC growth ratio %v, want ~2x per 4x n", ratio)
+	}
+}

@@ -1,0 +1,209 @@
+// Package shortestpath provides the shortest-path and reachability
+// subroutines the flow algorithms consume, together with their
+// congested-clique round accounting.
+//
+// The paper computes augmenting paths and potentials with the
+// O(n^0.158)-round (1+o(1))-approximate weighted directed APSP of
+// Censor-Hillel, Kaski, Korhonen, Lenzen, Paz, Suomela [CKKL+19], a
+// fast-matrix-multiplication result whose distributed implementation is far
+// outside any reproduction's scope. Following DESIGN.md ("Substitutions"),
+// the paths themselves are computed exactly (Dijkstra / Bellman-Ford /
+// BFS, internal to the simulation) and each invocation charges the cited
+// O(n^0.158) rounds to the ledger.
+package shortestpath
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"lapcc/internal/rounds"
+)
+
+// Inf is the distance assigned to unreachable vertices.
+const Inf = math.MaxInt64 / 4
+
+// Arc is one outgoing arc of the adjacency representation used here: a
+// target vertex, a weight, and an opaque id the caller uses to map paths
+// back to its own arc numbering.
+type Arc struct {
+	To     int
+	Weight int64
+	ID     int
+}
+
+// ErrNegativeWeight reports a negative arc weight passed to Dijkstra.
+var ErrNegativeWeight = errors.New("shortestpath: negative weight in Dijkstra")
+
+// ErrNegativeCycle reports a negative cycle detected by Bellman-Ford.
+var ErrNegativeCycle = errors.New("shortestpath: negative cycle")
+
+// Result carries distances and the predecessor structure of one
+// single-source computation.
+type Result struct {
+	// Dist[v] is the distance from the source set; Inf if unreachable.
+	Dist []int64
+	// ParentArc[v] is the ID of the arc entering v on a shortest path, or
+	// -1 for sources and unreachable vertices.
+	ParentArc []int
+	// ParentVertex[v] is the tail of ParentArc[v], or -1.
+	ParentVertex []int
+}
+
+// ChargeAPSP records one CKKL+19 APSP invocation for an n-node clique.
+func ChargeAPSP(led *rounds.Ledger, n int) {
+	if led != nil {
+		led.Add("apsp", rounds.Charged, rounds.APSPRounds(n), rounds.CiteAPSP)
+	}
+}
+
+type pqItem struct {
+	v    int
+	dist int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// Dijkstra computes shortest paths from the given sources over the
+// adjacency lists adj (adj[v] lists arcs leaving v). All weights must be
+// non-negative.
+func Dijkstra(adj [][]Arc, sources []int) (*Result, error) {
+	n := len(adj)
+	res := &Result{
+		Dist:         make([]int64, n),
+		ParentArc:    make([]int, n),
+		ParentVertex: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = Inf
+		res.ParentArc[v] = -1
+		res.ParentVertex[v] = -1
+	}
+	h := &pq{}
+	for _, s := range sources {
+		res.Dist[s] = 0
+		heap.Push(h, pqItem{v: s, dist: 0})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > res.Dist[it.v] {
+			continue
+		}
+		for _, a := range adj[it.v] {
+			if a.Weight < 0 {
+				return nil, ErrNegativeWeight
+			}
+			nd := it.dist + a.Weight
+			if nd < res.Dist[a.To] {
+				res.Dist[a.To] = nd
+				res.ParentArc[a.To] = a.ID
+				res.ParentVertex[a.To] = it.v
+				heap.Push(h, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+	return res, nil
+}
+
+// BellmanFord computes shortest paths allowing negative weights; it returns
+// ErrNegativeCycle if one is reachable from the sources.
+func BellmanFord(adj [][]Arc, sources []int) (*Result, error) {
+	n := len(adj)
+	res := &Result{
+		Dist:         make([]int64, n),
+		ParentArc:    make([]int, n),
+		ParentVertex: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = Inf
+		res.ParentArc[v] = -1
+		res.ParentVertex[v] = -1
+	}
+	for _, s := range sources {
+		res.Dist[s] = 0
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			if res.Dist[v] >= Inf {
+				continue
+			}
+			for _, a := range adj[v] {
+				nd := res.Dist[v] + a.Weight
+				if nd < res.Dist[a.To] {
+					res.Dist[a.To] = nd
+					res.ParentArc[a.To] = a.ID
+					res.ParentVertex[a.To] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return res, nil
+		}
+	}
+	return nil, ErrNegativeCycle
+}
+
+// BFS computes hop distances (all weights 1) from the sources.
+func BFS(adj [][]Arc, sources []int) *Result {
+	n := len(adj)
+	res := &Result{
+		Dist:         make([]int64, n),
+		ParentArc:    make([]int, n),
+		ParentVertex: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = Inf
+		res.ParentArc[v] = -1
+		res.ParentVertex[v] = -1
+	}
+	queue := make([]int, 0, n)
+	for _, s := range sources {
+		res.Dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range adj[v] {
+			if res.Dist[a.To] >= Inf {
+				res.Dist[a.To] = res.Dist[v] + 1
+				res.ParentArc[a.To] = a.ID
+				res.ParentVertex[a.To] = v
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the arc-ID path from the source set to v, or nil if v
+// is unreachable.
+func (r *Result) PathTo(v int) []int {
+	if r.Dist[v] >= Inf {
+		return nil
+	}
+	var path []int
+	for r.ParentArc[v] != -1 {
+		path = append(path, r.ParentArc[v])
+		v = r.ParentVertex[v]
+	}
+	// Reverse into source-to-target order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,161 @@
+package shortestpath
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lapcc/internal/rounds"
+)
+
+func diamond() [][]Arc {
+	// 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 1 -> 3 (5), 2 -> 3 (1).
+	return [][]Arc{
+		{{To: 1, Weight: 1, ID: 0}, {To: 2, Weight: 4, ID: 1}},
+		{{To: 2, Weight: 1, ID: 2}, {To: 3, Weight: 5, ID: 3}},
+		{{To: 3, Weight: 1, ID: 4}},
+		nil,
+	}
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	res, err := Dijkstra(diamond(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 3}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], d)
+		}
+	}
+	path := res.PathTo(3)
+	wantPath := []int{0, 2, 4}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", path, wantPath)
+	}
+	for i := range path {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", path, wantPath)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	adj := [][]Arc{{{To: 1, Weight: 1, ID: 0}}, nil, nil}
+	res, err := Dijkstra(adj, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != Inf {
+		t.Fatalf("dist[2] = %d, want Inf", res.Dist[2])
+	}
+	if res.PathTo(2) != nil {
+		t.Fatal("unreachable vertex should have nil path")
+	}
+}
+
+func TestDijkstraMultiSource(t *testing.T) {
+	adj := [][]Arc{
+		{{To: 2, Weight: 10, ID: 0}},
+		{{To: 2, Weight: 1, ID: 1}},
+		nil,
+	}
+	res, err := Dijkstra(adj, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != 1 {
+		t.Fatalf("dist[2] = %d, want 1 (via source 1)", res.Dist[2])
+	}
+}
+
+func TestDijkstraRejectsNegative(t *testing.T) {
+	adj := [][]Arc{{{To: 1, Weight: -1, ID: 0}}, nil}
+	if _, err := Dijkstra(adj, []int{0}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("error = %v, want ErrNegativeWeight", err)
+	}
+}
+
+func TestBellmanFordNegativeWeights(t *testing.T) {
+	// 0 -> 1 (4), 0 -> 2 (1), 2 -> 1 (-3): dist[1] = -2.
+	adj := [][]Arc{
+		{{To: 1, Weight: 4, ID: 0}, {To: 2, Weight: 1, ID: 1}},
+		nil,
+		{{To: 1, Weight: -3, ID: 2}},
+	}
+	res, err := BellmanFord(adj, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[1] != -2 {
+		t.Fatalf("dist[1] = %d, want -2", res.Dist[1])
+	}
+}
+
+func TestBellmanFordDetectsNegativeCycle(t *testing.T) {
+	adj := [][]Arc{
+		{{To: 1, Weight: 1, ID: 0}},
+		{{To: 0, Weight: -2, ID: 1}},
+	}
+	if _, err := BellmanFord(adj, []int{0}); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("error = %v, want ErrNegativeCycle", err)
+	}
+}
+
+func TestBFSHopDistances(t *testing.T) {
+	res := BFS(diamond(), []int{0})
+	want := []int64{0, 1, 1, 2}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Fatalf("hops[%d] = %d, want %d", v, res.Dist[v], d)
+		}
+	}
+}
+
+func TestChargeAPSP(t *testing.T) {
+	led := rounds.New()
+	ChargeAPSP(led, 1000)
+	if led.Total() != rounds.APSPRounds(1000) {
+		t.Fatalf("charged %d, want %d", led.Total(), rounds.APSPRounds(1000))
+	}
+	ChargeAPSP(nil, 10) // must not panic
+}
+
+// Property: Dijkstra and Bellman-Ford agree on random non-negative graphs.
+func TestDijkstraBellmanFordAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		adj := make([][]Arc, n)
+		id := 0
+		for v := 0; v < n; v++ {
+			for k := 0; k < rng.Intn(4); k++ {
+				w := rng.Intn(n)
+				if w == v {
+					continue
+				}
+				adj[v] = append(adj[v], Arc{To: w, Weight: int64(rng.Intn(20)), ID: id})
+				id++
+			}
+		}
+		d, err := Dijkstra(adj, []int{0})
+		if err != nil {
+			return false
+		}
+		b, err := BellmanFord(adj, []int{0})
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if d.Dist[v] != b.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

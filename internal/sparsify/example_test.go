@@ -1,0 +1,17 @@
+package sparsify_test
+
+import (
+	"fmt"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/sparsify"
+)
+
+// ExampleSparsify builds the Theorem 3.3 sparsifier of a clique and shows
+// the size reduction.
+func ExampleSparsify() {
+	g := graph.Complete(64)
+	res, _ := sparsify.Sparsify(g, sparsify.Options{})
+	fmt.Println("input edges:", g.M(), "> sparsifier edges:", res.H.M())
+	// Output: input edges: 2016 > sparsifier edges: 352
+}
