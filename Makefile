@@ -1,0 +1,39 @@
+# Build/verify entry points. `make check` is the CI gate: it vets, builds,
+# runs the full test suite under the race detector (continuously validating
+# the parallel engine and the concurrent round ledger), and smoke-runs every
+# benchmark once so the benchmark programs themselves cannot rot.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-engine bench-baseline check experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every benchmark exactly once as a smoke test (no timing fidelity).
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The engine/routing microbenchmarks behind BENCH_engine.json.
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngineRun|BenchmarkRoute' -benchmem -benchtime 2s ./internal/cc/
+
+# Refresh the recorded baseline (see BENCH_engine.json for the format).
+bench-baseline:
+	$(GO) test -run xxx -bench 'BenchmarkEngineRun|BenchmarkRoute' -benchmem -benchtime 2s ./internal/cc/ | tee /tmp/bench_engine.txt
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+check: vet build race bench-smoke

@@ -1,6 +1,7 @@
 // Command experiments regenerates every experiment table in EXPERIMENTS.md
-// (E1-E8), reproducing the quantitative claims of the paper's theorems as
-// scaling measurements. See DESIGN.md section 5 for the experiment index.
+// (E1-E10), reproducing the quantitative claims of the paper's theorems as
+// scaling measurements plus the simulator's own instrumentation profile
+// (E10). See DESIGN.md section 5 for the experiment index.
 //
 //	go run ./cmd/experiments            # all experiments
 //	go run ./cmd/experiments -run E3,E5 # a subset
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	flag.Parse()
 

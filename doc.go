@@ -16,4 +16,18 @@
 // reproduction of every quantitative claim. The benchmarks in this
 // directory (bench_test.go) regenerate each experiment as a testing.B
 // benchmark with rounds reported as custom metrics.
+//
+// # Simulator execution model
+//
+// The congested-clique simulator (internal/cc) executes each round's n node
+// steps on a pool of worker goroutines with private, recycled send buffers,
+// then merges the buffers deterministically in node order at the round
+// barrier — so results are bit-identical to a sequential execution, while
+// the hot path performs no steady-state allocation. Engine.SetSequential(true)
+// forces inline single-goroutine execution as an escape hatch,
+// Engine.SetWorkers overrides the worker count, and Engine.SetObserver opts
+// into per-round instrumentation (message counts, link-load maxima, phase
+// timings; see experiment E10). Randomized differential tests pin the
+// parallel, sequential, and legacy-reference executions to each other, and
+// `make check` runs the simulator's test suite under the race detector.
 package lapcc

@@ -42,13 +42,18 @@ func RouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([
 
 	for _, p := range packets {
 		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
-			// Let Route produce the canonical error for bad endpoints.
+			// Let Route produce the canonical error for bad endpoints. The
+			// continue is load-bearing: without it a (hypothetically)
+			// non-erroring delegated call would fall through to the
+			// srcCount/dstCount indexing below and panic on a negative or
+			// out-of-range index.
 			if err := flush(); err != nil {
 				return nil, agg, err
 			}
 			if _, _, err := Route(n, []Packet{p}, nil, tag); err != nil {
 				return nil, agg, err
 			}
+			continue
 		}
 		if srcCount[p.Src] >= n || dstCount[p.Dst] >= n {
 			if err := flush(); err != nil {

@@ -1,0 +1,135 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// broadcastStyleStep returns the benchmark workload of the acceptance
+// criteria: an n-node broadcast-style program in which every node sends a
+// 3-word message to every other node for rounds rounds — the densest legal
+// traffic pattern the model admits (full all-to-all each round). The
+// payload slice is passed through with ... so the caller allocates nothing
+// per send; all remaining allocation cost is the engine's own.
+func broadcastStyleStep(n, rounds int) Step {
+	payload := []int64{1, 2, 3}
+	return func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round >= rounds {
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if v != node {
+				send(v, payload...)
+			}
+		}
+		return false
+	}
+}
+
+// BenchmarkEngineRun compares the worker-pool engine (default and
+// sequential modes) against the retained legacy map-based implementation on
+// the n=256 broadcast-style program. The parallel/sequential variants reuse
+// one Engine across iterations, which is the production pattern and what
+// makes the steady state allocation-free.
+func BenchmarkEngineRun(b *testing.B) {
+	const n = 256
+	const rounds = 4
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(n)
+			if _, err := e.runReference(broadcastStyleStep(n, rounds), rounds+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []string{"sequential", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			e := NewEngine(n)
+			if mode == "sequential" {
+				e.SetSequential(true)
+			}
+			step := broadcastStyleStep(n, rounds)
+			if _, err := e.Run(step, rounds+1); err != nil { // warm the recycled buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(step, rounds+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunSparse is the light-traffic counterpart: each node
+// talks to 8 neighbors per round, the shape of the repo's ring/relay
+// primitives.
+func BenchmarkEngineRunSparse(b *testing.B) {
+	const n = 256
+	const rounds = 16
+	payload := []int64{7, 8}
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round >= rounds {
+			return true
+		}
+		for i := 1; i <= 8; i++ {
+			send((node+i)%n, payload...)
+		}
+		return false
+	}
+	e := NewEngine(n)
+	if _, err := e.Run(step, rounds+1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(step, rounds+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoute measures the Lenzen relay on an admissible all-to-many
+// instance: every node sends one packet to each of 32 destinations.
+func BenchmarkRoute(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			payload := []int64{1, 2}
+			pkts := make([]Packet, 0, 32*n)
+			for s := 0; s < n; s++ {
+				for k := 0; k < 32; k++ {
+					pkts = append(pkts, Packet{Src: s, Dst: (s + 1 + k) % n, Data: payload})
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Route(n, pkts, nil, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteBatched measures the batching wrapper on an inadmissible
+// instance (one hot source) that splits into several Route batches.
+func BenchmarkRouteBatched(b *testing.B) {
+	const n = 128
+	payload := []int64{3}
+	pkts := make([]Packet, 0, 4*n)
+	for k := 0; k < 4*n; k++ {
+		pkts = append(pkts, Packet{Src: 0, Dst: 1 + k%(n-1), Data: payload})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RouteBatched(n, pkts, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

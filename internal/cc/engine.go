@@ -9,18 +9,46 @@
 // — and counts rounds. Algorithms are expressed as per-node step functions;
 // the engine runs them in lockstep and delivers messages at round
 // boundaries, exactly as the synchronous model prescribes.
+//
+// # Execution model
+//
+// The engine partitions the n nodes into contiguous blocks, one per worker,
+// and steps each block on its own goroutine; a barrier at the end of every
+// round merges the workers' private outboxes into the next round's inboxes
+// in ascending node order. Because the merge order depends only on node
+// indices — never on goroutine scheduling — a program observes exactly the
+// same rounds, message counts, and per-inbox message order as a fully
+// sequential execution. SetSequential(true) forces single-worker, inline
+// execution (no goroutines) as an escape hatch; SetWorkers overrides the
+// worker count, which defaults to GOMAXPROCS.
+//
+// Step functions run concurrently across nodes within a round, as the model
+// intends: a step may freely read and write per-node state (for example,
+// distinct elements of a shared slice indexed by node) but must not mutate
+// state shared across nodes without its own synchronization.
+//
+// The engine recycles all per-round state — send buffers, payload arenas,
+// inbox slices, and the duplicate-pair stamp tables that replace the old
+// per-round maps — so steady-state rounds allocate nothing. Consequently
+// inbox payloads are only valid during the step call that receives them;
+// a node that wants to keep a payload across rounds must copy it.
 package cc
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 )
 
 // DefaultMaxWords is the default per-message budget in 64-bit words. Three
 // words comfortably encode (tag, key, value) triples and is O(log n) bits.
 const DefaultMaxWords = 3
 
-// Message is a message delivered to a node at the start of a round.
+// Message is a message delivered to a node at the start of a round. Data is
+// backed by an engine-owned arena that is recycled once the receiving step
+// returns: copy it if it must outlive the step call.
 type Message struct {
 	From int
 	Data []int64
@@ -31,7 +59,38 @@ type Message struct {
 // sends messages via send (delivered at the start of the next round) and
 // returns true when it is done. A node that has returned done is still shown
 // late-arriving messages and may resume work by returning false again.
+//
+// Steps for distinct nodes may run concurrently (see the package comment);
+// the send function passed to a step is only valid for that step call.
 type Step func(node, round int, inbox []Message, send func(to int, data ...int64)) (done bool)
+
+// RoundStats describes one engine round for the instrumentation hook. All
+// count fields are deterministic (identical in sequential and parallel
+// execution); the durations are wall-clock measurements.
+type RoundStats struct {
+	// Round is the round index within the current Run call.
+	Round int
+	// Messages is the number of messages sent in this round (delivered at
+	// the start of the next round).
+	Messages int
+	// Words is the total payload words across those messages.
+	Words int
+	// MaxOut is the maximum number of messages sent by a single node — the
+	// per-link load never exceeds 1 in the clique, so this is the node's
+	// outgoing link load.
+	MaxOut int
+	// MaxIn is the maximum number of messages received by a single node.
+	MaxIn int
+	// Busy is the number of nodes that returned done=false this round.
+	Busy int
+	// WidthHist[w] counts messages whose payload is exactly w words
+	// (w ranges over 0..maxWords).
+	WidthHist []int
+	// StepDuration is the wall time of the compute phase (all step calls).
+	StepDuration time.Duration
+	// MergeDuration is the wall time of the barrier merge phase.
+	MergeDuration time.Duration
+}
 
 // Engine runs step-function programs on a simulated clique.
 type Engine struct {
@@ -40,6 +99,19 @@ type Engine struct {
 	rounds    int64
 	messages  int64
 	broadcast bool
+
+	sequential bool
+	workers    int // configured worker count; 0 means GOMAXPROCS
+	observer   func(RoundStats)
+
+	// Reusable execution state, lazily sized on first Run and recycled
+	// across rounds and across Run calls.
+	ws        []*workerState
+	inboxFlat []Message
+	inboxes   [][]Message
+	dstCount  []int
+	dstOff    []int
+	srcCount  []int // only filled when an observer is installed
 }
 
 // Model violations are errors, not panics: an algorithm exceeding the
@@ -84,72 +156,360 @@ func (e *Engine) SetMaxWords(w int) { e.maxWords = w }
 // restriction; the simulator makes the restriction checkable.
 func (e *Engine) SetBroadcastOnly(b bool) { e.broadcast = b }
 
-// Run executes the program until every node reports done in the same round
-// and no messages are in flight, or until maxRounds communication rounds
-// have been used. It returns the number of rounds consumed by this run.
-func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
-	inboxes := make([][]Message, e.n)
-	start := e.rounds
-	for r := 0; ; r++ {
-		if int64(r) >= int64(maxRounds) {
-			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
+// SetSequential forces single-worker, inline execution: every step of every
+// round runs on the calling goroutine, in ascending node order, with no
+// goroutines spawned. Results are identical to parallel execution (the
+// merge is deterministic either way); the switch exists as an escape hatch
+// for step functions that are not safe to call concurrently and for
+// debugging.
+func (e *Engine) SetSequential(s bool) {
+	e.sequential = s
+	e.ws = nil // force repartition on next Run
+}
+
+// SetWorkers overrides the number of parallel workers (default: GOMAXPROCS).
+// k <= 0 restores the default. Ignored while sequential mode is on.
+func (e *Engine) SetWorkers(k int) {
+	if k < 0 {
+		k = 0
+	}
+	e.workers = k
+	e.ws = nil // force repartition on next Run
+}
+
+// SetObserver installs an instrumentation hook invoked once per committed
+// round (after the merge barrier, on the Run goroutine) with that round's
+// RoundStats. A nil observer (the default) disables instrumentation and its
+// small bookkeeping cost. The WidthHist slice is freshly allocated per call
+// and may be retained.
+func (e *Engine) SetObserver(obs func(RoundStats)) { e.observer = obs }
+
+// outMsg is one buffered send: the payload lives in the worker's arena at
+// [off, off+width).
+type outMsg struct {
+	from, to   int32
+	off, width int32
+}
+
+// workerState is the private per-worker execution state. Workers own the
+// contiguous node block [lo, hi); nothing here is shared across goroutines
+// during the compute phase.
+type workerState struct {
+	e      *Engine
+	lo, hi int
+
+	outbox []outMsg
+	// arena double-buffers payload words by round parity: the arena written
+	// in round r is read (through inbox Data slices) during round r+1 while
+	// the worker writes the other arena.
+	arena [2][]int64
+
+	// stamp[to] == epoch marks "current node already sent to `to` this
+	// round"; epoch increments per node step, so the table never needs
+	// clearing. This replaces the old per-round map[[2]int]bool.
+	stamp []int64
+	epoch int64
+
+	// Per-step scratch for the BCC same-payload check.
+	bccFirst []int64
+	bccSet   bool
+
+	curNode int
+	round   int
+	parity  int
+	notDone int
+	err     error
+	errNode int
+	send    func(to int, data ...int64)
+}
+
+func newWorkerState(e *Engine, lo, hi int) *workerState {
+	w := &workerState{
+		e:       e,
+		lo:      lo,
+		hi:      hi,
+		stamp:   make([]int64, e.n),
+		errNode: -1,
+	}
+	// One closure per worker for the whole engine lifetime; the old engine
+	// allocated a fresh closure per node per round.
+	w.send = func(to int, data ...int64) { w.doSend(to, data) }
+	return w
+}
+
+func (w *workerState) fail(err error) {
+	if w.err == nil {
+		w.err = err
+		w.errNode = w.curNode
+	}
+}
+
+func (w *workerState) doSend(to int, data []int64) {
+	if w.err != nil {
+		return
+	}
+	e := w.e
+	v := w.curNode
+	if to < 0 || to >= e.n || to == v {
+		w.fail(fmt.Errorf("%w: node %d -> %d (n=%d)", ErrBadRecipient, v, to, e.n))
+		return
+	}
+	if len(data) > e.maxWords {
+		w.fail(fmt.Errorf("%w: node %d sent %d words (budget %d)",
+			ErrMessageTooWide, v, len(data), e.maxWords))
+		return
+	}
+	if e.broadcast {
+		if w.bccSet {
+			if !equalWords(w.bccFirst, data) {
+				w.fail(fmt.Errorf("%w: node %d in round %d", ErrNotBroadcast, v, w.round))
+				return
+			}
+		} else {
+			w.bccFirst = append(w.bccFirst[:0], data...)
+			w.bccSet = true
 		}
-		next := make([][]Message, e.n)
-		sentPair := make(map[[2]int]bool)
-		firstData := make(map[int][]int64) // BCC: the round's message per node
-		var sendErr error
-		allDone := true
-		anySent := false
-		for v := 0; v < e.n; v++ {
-			node := v
-			send := func(to int, data ...int64) {
-				if sendErr != nil {
-					return
-				}
-				if to < 0 || to >= e.n || to == node {
-					sendErr = fmt.Errorf("%w: node %d -> %d (n=%d)", ErrBadRecipient, node, to, e.n)
-					return
-				}
-				if len(data) > e.maxWords {
-					sendErr = fmt.Errorf("%w: node %d sent %d words (budget %d)",
-						ErrMessageTooWide, node, len(data), e.maxWords)
-					return
-				}
-				if e.broadcast {
-					if prev, ok := firstData[node]; ok {
-						if !equalWords(prev, data) {
-							sendErr = fmt.Errorf("%w: node %d in round %d", ErrNotBroadcast, node, r)
-							return
-						}
-					} else {
-						firstData[node] = append([]int64(nil), data...)
+	}
+	if w.stamp[to] == w.epoch {
+		w.fail(fmt.Errorf("%w: %d -> %d in round %d", ErrDuplicatePair, v, to, w.round))
+		return
+	}
+	w.stamp[to] = w.epoch
+	a := w.arena[w.parity]
+	off := len(a)
+	w.arena[w.parity] = append(a, data...)
+	w.outbox = append(w.outbox, outMsg{
+		from: int32(v), to: int32(to), off: int32(off), width: int32(len(data)),
+	})
+}
+
+// runRound steps the worker's node block for round r. On a model violation
+// the worker records the error and the offending node and stops stepping
+// its remaining nodes, mirroring the sequential engine.
+func (w *workerState) runRound(step Step, r int, inboxes [][]Message) {
+	w.err = nil
+	w.errNode = -1
+	w.notDone = 0
+	w.round = r
+	w.parity = r & 1
+	w.outbox = w.outbox[:0]
+	w.arena[w.parity] = w.arena[w.parity][:0]
+	for v := w.lo; v < w.hi; v++ {
+		w.curNode = v
+		w.epoch++
+		w.bccSet = false
+		if !step(v, r, inboxes[v], w.send) {
+			w.notDone++
+		}
+		if w.err != nil {
+			return
+		}
+	}
+}
+
+// workerCount resolves the effective worker count for this run.
+func (e *Engine) workerCount() int {
+	if e.sequential {
+		return 1
+	}
+	k := e.workers
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > e.n {
+		k = e.n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ensureState (re)builds the recycled execution state if the worker count
+// or n changed since the last Run.
+func (e *Engine) ensureState(workers int) {
+	if len(e.ws) != workers || (len(e.ws) > 0 && e.ws[0].e != e) {
+		e.ws = make([]*workerState, workers)
+		for i := 0; i < workers; i++ {
+			lo := i * e.n / workers
+			hi := (i + 1) * e.n / workers
+			e.ws[i] = newWorkerState(e, lo, hi)
+		}
+	}
+	if len(e.inboxes) != e.n {
+		e.inboxes = make([][]Message, e.n)
+		e.dstCount = make([]int, e.n)
+		e.dstOff = make([]int, e.n+1)
+		e.srcCount = make([]int, e.n)
+	}
+}
+
+// Run executes the program until every node reports done in the same round
+// and no messages are in flight, or until the program attempts to use more
+// than maxRounds communication rounds. A program that completes without
+// communicating in its final step costs no round for that step, so a
+// zero-communication program succeeds even with maxRounds = 0. It returns
+// the number of rounds consumed by this run.
+func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
+	workers := e.workerCount()
+	e.ensureState(workers)
+	start := e.rounds
+	for v := range e.inboxes {
+		e.inboxes[v] = nil
+	}
+	var wg sync.WaitGroup
+	for r := 0; ; r++ {
+		var t0 time.Time
+		if e.observer != nil {
+			t0 = time.Now()
+		}
+		if workers == 1 {
+			e.ws[0].runRound(step, r, e.inboxes)
+		} else {
+			for _, w := range e.ws {
+				wg.Add(1)
+				go func(w *workerState) {
+					defer wg.Done()
+					w.runRound(step, r, e.inboxes)
+				}(w)
+			}
+			wg.Wait()
+		}
+		var stepDur time.Duration
+		if e.observer != nil {
+			stepDur = time.Since(t0)
+		}
+
+		// Resolve the round's outcome deterministically: the error at the
+		// lowest node index wins, exactly as if the nodes had stepped in
+		// order on one goroutine.
+		errNode := -1
+		var roundErr error
+		busy := 0
+		sent := 0
+		for _, w := range e.ws {
+			if w.err != nil && (errNode < 0 || w.errNode < errNode) {
+				errNode, roundErr = w.errNode, w.err
+			}
+			busy += w.notDone
+			sent += len(w.outbox)
+		}
+		if roundErr != nil {
+			// Count only the messages a sequential execution would have
+			// sent before failing: those from nodes up to the erroring one.
+			for _, w := range e.ws {
+				for _, m := range w.outbox {
+					if int(m.from) <= errNode {
+						e.messages++
 					}
 				}
-				key := [2]int{node, to}
-				if sentPair[key] {
-					sendErr = fmt.Errorf("%w: %d -> %d in round %d", ErrDuplicatePair, node, to, r)
-					return
-				}
-				sentPair[key] = true
-				anySent = true
-				e.messages++
-				next[to] = append(next[to], Message{From: node, Data: append([]int64(nil), data...)})
 			}
-			if !step(node, r, inboxes[v], send) {
-				allDone = false
-			}
-			if sendErr != nil {
-				return e.rounds - start, sendErr
-			}
+			return e.rounds - start, roundErr
 		}
-		if allDone && !anySent {
+		if busy == 0 && sent == 0 {
 			// The final step consumed no communication; it is internal
 			// computation and costs no round.
 			return e.rounds - start, nil
 		}
+		// The round performed communication (or left nodes busy), so it
+		// must fit in the budget. Checking here — after the completion
+		// check — lets a communication-free finish at r == maxRounds
+		// succeed instead of spuriously hitting the limit.
+		if r >= maxRounds {
+			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
+		}
+		e.messages += int64(sent)
+
+		if e.observer != nil {
+			t0 = time.Now()
+		}
+		e.mergeOutboxes(sent)
 		e.rounds++
-		inboxes = next
+		if e.observer != nil {
+			e.emitStats(r, sent, busy, stepDur, time.Since(t0))
+		}
 	}
+}
+
+// mergeOutboxes builds the next round's inboxes from the workers' private
+// outboxes. Workers hold ascending node blocks and each outbox is in
+// step order, so filling in worker order reproduces the per-destination
+// arrival order of a sequential execution. All buffers are recycled.
+func (e *Engine) mergeOutboxes(total int) {
+	dc := e.dstCount
+	for i := range dc {
+		dc[i] = 0
+	}
+	for _, w := range e.ws {
+		for i := range w.outbox {
+			dc[w.outbox[i].to]++
+		}
+	}
+	if cap(e.inboxFlat) < total {
+		e.inboxFlat = make([]Message, total)
+	}
+	flat := e.inboxFlat[:total]
+	off := e.dstOff
+	sum := 0
+	for d := 0; d < e.n; d++ {
+		off[d] = sum
+		sum += dc[d]
+	}
+	off[e.n] = sum
+	for _, w := range e.ws {
+		arena := w.arena[w.parity]
+		for _, m := range w.outbox {
+			p := off[m.to]
+			off[m.to] = p + 1
+			flat[p] = Message{From: int(m.from), Data: arena[m.off : m.off+m.width : m.off+m.width]}
+		}
+	}
+	sum = 0
+	for d := 0; d < e.n; d++ {
+		e.inboxes[d] = flat[sum : sum+dc[d] : sum+dc[d]]
+		sum += dc[d]
+	}
+	e.inboxFlat = flat
+}
+
+// emitStats assembles the deterministic per-round statistics for the
+// observer. Only runs when instrumentation is on.
+func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration) {
+	sc := e.srcCount
+	for i := range sc {
+		sc[i] = 0
+	}
+	words := 0
+	hist := make([]int, e.maxWords+1)
+	maxOut, maxIn := 0, 0
+	for _, w := range e.ws {
+		for _, m := range w.outbox {
+			sc[m.from]++
+			if sc[m.from] > maxOut {
+				maxOut = sc[m.from]
+			}
+			words += int(m.width)
+			if int(m.width) < len(hist) {
+				hist[m.width]++
+			}
+		}
+	}
+	for _, c := range e.dstCount {
+		if c > maxIn {
+			maxIn = c
+		}
+	}
+	e.observer(RoundStats{
+		Round:         r,
+		Messages:      sent,
+		Words:         words,
+		MaxOut:        maxOut,
+		MaxIn:         maxIn,
+		Busy:          busy,
+		WidthHist:     hist,
+		StepDuration:  stepDur,
+		MergeDuration: mergeDur,
+	})
 }
 
 func equalWords(a, b []int64) bool {

@@ -1,0 +1,79 @@
+package cc
+
+import "fmt"
+
+// runReference is the original map-based sequential implementation of Run,
+// kept verbatim as a differential-testing oracle and benchmark baseline for
+// the worker-pool engine. It allocates fresh per-round state (duplicate-pair
+// map, BCC map, inbox slices, payload copies) on every round, which is
+// exactly the cost profile the production engine eliminates.
+//
+// Semantics differ from Run in one deliberate way: the round-limit check
+// fires before the zero-communication completion check, so a program whose
+// final, communication-free step lands on r == maxRounds is (wrongly)
+// rejected. Run fixes that ordering; the equivalence tests therefore compare
+// the two only on programs that finish strictly inside their budget.
+func (e *Engine) runReference(step Step, maxRounds int) (int64, error) {
+	inboxes := make([][]Message, e.n)
+	start := e.rounds
+	for r := 0; ; r++ {
+		if int64(r) >= int64(maxRounds) {
+			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
+		}
+		next := make([][]Message, e.n)
+		sentPair := make(map[[2]int]bool)
+		firstData := make(map[int][]int64) // BCC: the round's message per node
+		var sendErr error
+		allDone := true
+		anySent := false
+		for v := 0; v < e.n; v++ {
+			node := v
+			send := func(to int, data ...int64) {
+				if sendErr != nil {
+					return
+				}
+				if to < 0 || to >= e.n || to == node {
+					sendErr = fmt.Errorf("%w: node %d -> %d (n=%d)", ErrBadRecipient, node, to, e.n)
+					return
+				}
+				if len(data) > e.maxWords {
+					sendErr = fmt.Errorf("%w: node %d sent %d words (budget %d)",
+						ErrMessageTooWide, node, len(data), e.maxWords)
+					return
+				}
+				if e.broadcast {
+					if prev, ok := firstData[node]; ok {
+						if !equalWords(prev, data) {
+							sendErr = fmt.Errorf("%w: node %d in round %d", ErrNotBroadcast, node, r)
+							return
+						}
+					} else {
+						firstData[node] = append([]int64(nil), data...)
+					}
+				}
+				key := [2]int{node, to}
+				if sentPair[key] {
+					sendErr = fmt.Errorf("%w: %d -> %d in round %d", ErrDuplicatePair, node, to, r)
+					return
+				}
+				sentPair[key] = true
+				anySent = true
+				e.messages++
+				next[to] = append(next[to], Message{From: node, Data: append([]int64(nil), data...)})
+			}
+			if !step(node, r, inboxes[v], send) {
+				allDone = false
+			}
+			if sendErr != nil {
+				return e.rounds - start, sendErr
+			}
+		}
+		if allDone && !anySent {
+			// The final step consumed no communication; it is internal
+			// computation and costs no round.
+			return e.rounds - start, nil
+		}
+		e.rounds++
+		inboxes = next
+	}
+}

@@ -141,6 +141,159 @@ func TestEngineZeroRoundProgram(t *testing.T) {
 	}
 }
 
+// TestEngineZeroBudgetZeroCommunication is the regression test for the
+// round-limit ordering bug: a program that completes without any
+// communication costs zero rounds and must succeed even with maxRounds = 0
+// (the limit check used to fire before the zero-cost completion check).
+func TestEngineZeroBudgetZeroCommunication(t *testing.T) {
+	e := NewEngine(4)
+	used, err := e.Run(func(int, int, []Message, func(int, ...int64)) bool { return true }, 0)
+	if err != nil {
+		t.Fatalf("zero-communication program with zero budget: %v", err)
+	}
+	if used != 0 {
+		t.Fatalf("used %d rounds, want 0", used)
+	}
+}
+
+// TestEngineCompletionAtExactBudget: a program whose final step performs no
+// communication and lands exactly on r == maxRounds succeeds — the free
+// final step must not be charged against the budget.
+func TestEngineCompletionAtExactBudget(t *testing.T) {
+	n := 4
+	e := NewEngine(n)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round == 0 && node == 0 {
+			for v := 1; v < n; v++ {
+				send(v, 9)
+			}
+		}
+		return round >= 1 // round 0 communicates; round 1 only consumes
+	}
+	used, err := e.Run(step, 1)
+	if err != nil {
+		t.Fatalf("1-round program with budget 1: %v", err)
+	}
+	if used != 1 {
+		t.Fatalf("used %d rounds, want 1", used)
+	}
+}
+
+// TestEngineZeroBudgetRejectsCommunication: with budget 0 any send is over
+// budget.
+func TestEngineZeroBudgetRejectsCommunication(t *testing.T) {
+	e := NewEngine(2)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if node == 0 && round == 0 {
+			send(1, 1)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 0); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("error = %v, want ErrRoundLimit", err)
+	}
+}
+
+// TestEngineSequentialMatchesDefault: the SetSequential escape hatch runs
+// the same program to the same result.
+func TestEngineSequentialMatchesDefault(t *testing.T) {
+	run := func(configure func(*Engine)) (int64, int64, []int64) {
+		n := 8
+		e := NewEngine(n)
+		configure(e)
+		got := make([]int64, n)
+		got[0] = 42
+		step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+			if round == 0 {
+				if node == 0 {
+					for v := 1; v < n; v++ {
+						send(v, 42)
+					}
+				}
+				return node == 0
+			}
+			for _, m := range inbox {
+				got[node] = m.Data[0]
+			}
+			return true
+		}
+		used, err := e.Run(step, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return used, e.Messages(), got
+	}
+	u1, m1, g1 := run(func(e *Engine) { e.SetSequential(true) })
+	u2, m2, g2 := run(func(e *Engine) { e.SetWorkers(4) })
+	if u1 != u2 || m1 != m2 {
+		t.Fatalf("sequential (%d rounds, %d msgs) != parallel (%d rounds, %d msgs)", u1, m1, u2, m2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("node %d: sequential got %d, parallel got %d", i, g1[i], g2[i])
+		}
+	}
+}
+
+// TestEngineParallelDetectsViolations: model violations surface identically
+// under multiple workers, attributed to the lowest offending node.
+func TestEngineParallelDetectsViolations(t *testing.T) {
+	e := NewEngine(8)
+	e.SetWorkers(4)
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round == 0 && node >= 4 {
+			send(0, 1)
+			send(0, 2) // duplicate pair from every node in the last block
+		}
+		return true
+	}
+	if _, err := e.Run(step, 5); !errors.Is(err, ErrDuplicatePair) {
+		t.Fatalf("error = %v, want ErrDuplicatePair", err)
+	}
+}
+
+// TestEngineObserverStats: the instrumentation hook reports deterministic
+// per-round message counts and link loads.
+func TestEngineObserverStats(t *testing.T) {
+	n := 6
+	e := NewEngine(n)
+	var stats []RoundStats
+	e.SetObserver(func(s RoundStats) { stats = append(stats, s) })
+	step := func(node, round int, inbox []Message, send func(int, ...int64)) bool {
+		if round == 0 {
+			for v := 0; v < n; v++ {
+				if v != node {
+					send(v, int64(node), int64(round))
+				}
+			}
+			return false
+		}
+		return true
+	}
+	if _, err := e.Run(step, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("observer saw %d rounds, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.Messages != n*(n-1) {
+		t.Fatalf("Messages = %d, want %d", s.Messages, n*(n-1))
+	}
+	if s.Words != 2*n*(n-1) {
+		t.Fatalf("Words = %d, want %d", s.Words, 2*n*(n-1))
+	}
+	if s.MaxOut != n-1 || s.MaxIn != n-1 {
+		t.Fatalf("MaxOut/MaxIn = %d/%d, want %d/%d", s.MaxOut, s.MaxIn, n-1, n-1)
+	}
+	if s.Busy != n {
+		t.Fatalf("Busy = %d, want %d", s.Busy, n)
+	}
+	if s.WidthHist[2] != n*(n-1) {
+		t.Fatalf("WidthHist = %v, want all %d messages at width 2", s.WidthHist, n*(n-1))
+	}
+}
+
 func TestEngineAccumulatesAcrossRuns(t *testing.T) {
 	e := NewEngine(2)
 	ping := func(node, round int, inbox []Message, send func(int, ...int64)) bool {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"lapcc/internal/rounds"
 )
@@ -39,6 +40,70 @@ type RouteResult struct {
 // more than n messages.
 var ErrRoutingOverload = errors.New("cc: node exceeds n messages in routing instance")
 
+// routeScratch holds the reusable working state of one Route invocation:
+// count/offset tables, the counting-sort arenas that replace the old
+// per-source and per-intermediate slice-of-slices, and the epoch-stamped
+// per-destination multiplicity table that replaces the old per-intermediate
+// map[int]int64. Instances are recycled through routePool so steady-state
+// Route calls allocate only their output.
+type routeScratch struct {
+	srcCount, dstCount []int
+	srcOff             []int
+	interCount         []int
+	interOff           []int
+	bySrc              []Packet
+	atInter            []Packet
+
+	perDst      []int64
+	perDstStamp []int64
+	perDstEpoch int64
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+func (s *routeScratch) resize(n, m int) {
+	if cap(s.srcCount) < n {
+		s.srcCount = make([]int, n)
+		s.dstCount = make([]int, n)
+		s.srcOff = make([]int, n+1)
+		s.interCount = make([]int, n)
+		s.interOff = make([]int, n+1)
+		s.perDst = make([]int64, n)
+		s.perDstStamp = make([]int64, n)
+		s.perDstEpoch = 0
+	}
+	s.srcCount = s.srcCount[:n]
+	s.dstCount = s.dstCount[:n]
+	s.srcOff = s.srcOff[:n+1]
+	s.interCount = s.interCount[:n]
+	s.interOff = s.interOff[:n+1]
+	s.perDst = s.perDst[:n]
+	s.perDstStamp = s.perDstStamp[:n]
+	for i := 0; i < n; i++ {
+		s.srcCount[i] = 0
+		s.dstCount[i] = 0
+		s.interCount[i] = 0
+	}
+	if cap(s.bySrc) < m {
+		s.bySrc = make([]Packet, m)
+		s.atInter = make([]Packet, m)
+	}
+	s.bySrc = s.bySrc[:m]
+	s.atInter = s.atInter[:m]
+}
+
+// release zeroes the packet arenas' payload pointers so pooled scratch does
+// not pin caller data, then returns the scratch to the pool.
+func (s *routeScratch) release() {
+	for i := range s.bySrc {
+		s.bySrc[i] = Packet{}
+	}
+	for i := range s.atInter {
+		s.atInter[i] = Packet{}
+	}
+	routePool.Put(s)
+}
+
 // Route delivers the packets on an n-clique using a two-phase relay
 // (round-robin distribution to intermediates, then delivery), enforcing the
 // model's one-message-per-ordered-pair-per-round constraint in every phase.
@@ -50,8 +115,11 @@ var ErrRoutingOverload = errors.New("cc: node exceeds n messages in routing inst
 // messages as a set). The ledger, if non-nil, is charged Result.Charged
 // measured rounds under the given tag.
 func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Packet, RouteResult, error) {
-	srcCount := make([]int, n)
-	dstCount := make([]int, n)
+	s := routePool.Get().(*routeScratch)
+	defer s.release()
+	s.resize(n, len(packets))
+
+	srcCount, dstCount := s.srcCount, s.dstCount
 	for _, p := range packets {
 		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
 			return nil, RouteResult{}, fmt.Errorf("%w: packet %d -> %d with n=%d", ErrBadRecipient, p.Src, p.Dst, n)
@@ -71,47 +139,95 @@ func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Pack
 	// intermediates, so each ordered pair carries at most one message.
 	// Packets whose intermediate equals the source or the destination stay
 	// put / go direct without consuming the pair twice.
-	bySrc := make([][]Packet, n)
-	for _, p := range packets {
-		bySrc[p.Src] = append(bySrc[p.Src], p)
+	//
+	// Grouping is a stable counting sort into the recycled bySrc arena, so
+	// within a source the original packet order is preserved — the same
+	// order the old slice-of-slices append produced.
+	srcOff := s.srcOff
+	sum := 0
+	for v := 0; v < n; v++ {
+		srcOff[v] = sum
+		sum += srcCount[v]
 	}
-	atInter := make([][]Packet, n)
+	srcOff[n] = sum
+	bySrc := s.bySrc
+	for _, p := range packets {
+		bySrc[srcOff[p.Src]] = p
+		srcOff[p.Src]++
+	}
+	// srcOff[v] now points one past source v's segment, i.e. at the start
+	// index of v+1; recover segment starts from srcOff[v-1].
 	var executed int64
 	var linkMessages int64
 	phase1Sent := false
-	for s := 0; s < n; s++ {
-		for j, p := range bySrc[s] {
-			inter := (s + j + 1) % n
-			if inter != s {
+	interCount := s.interCount
+	segStart := 0
+	for v := 0; v < n; v++ {
+		for j := segStart; j < srcOff[v]; j++ {
+			inter := (v + (j - segStart) + 1) % n
+			if inter != v {
 				phase1Sent = true
 				linkMessages++
 			}
-			atInter[inter] = append(atInter[inter], p)
+			interCount[inter]++
 		}
+		segStart = srcOff[v]
 	}
 	if phase1Sent {
 		executed++
+	}
+	interOff := s.interOff
+	sum = 0
+	for v := 0; v < n; v++ {
+		interOff[v] = sum
+		sum += interCount[v]
+	}
+	interOff[n] = sum
+	atInter := s.atInter
+	segStart = 0
+	for v := 0; v < n; v++ {
+		for j := segStart; j < srcOff[v]; j++ {
+			inter := (v + (j - segStart) + 1) % n
+			atInter[interOff[inter]] = bySrc[j]
+			interOff[inter]++
+		}
+		segStart = srcOff[v]
 	}
 
 	// Phase 2: intermediates deliver to destinations, one message per
 	// ordered pair per round. The number of rounds is the maximum, over
 	// intermediates w, of the largest per-destination multiplicity at w.
+	// The multiplicity table is a flat epoch-stamped array: bumping the
+	// epoch per intermediate replaces clearing (or reallocating) a map.
 	out := make([][]Packet, n)
+	for d := 0; d < n; d++ {
+		if dstCount[d] > 0 {
+			out[d] = make([]Packet, 0, dstCount[d])
+		}
+	}
 	var phase2 int64
+	perDst, perDstStamp := s.perDst, s.perDstStamp
+	segStart = 0
 	for w := 0; w < n; w++ {
-		perDst := make(map[int]int64)
-		for _, p := range atInter[w] {
+		s.perDstEpoch++
+		for j := segStart; j < interOff[w]; j++ {
+			p := atInter[j]
 			if p.Dst == w {
 				out[w] = append(out[w], p) // already local: no round needed
 				continue
 			}
 			linkMessages++
+			if perDstStamp[p.Dst] != s.perDstEpoch {
+				perDstStamp[p.Dst] = s.perDstEpoch
+				perDst[p.Dst] = 0
+			}
 			perDst[p.Dst]++
 			if perDst[p.Dst] > phase2 {
 				phase2 = perDst[p.Dst]
 			}
 			out[p.Dst] = append(out[p.Dst], p)
 		}
+		segStart = interOff[w]
 	}
 	executed += phase2
 

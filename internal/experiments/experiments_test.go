@@ -17,8 +17,8 @@ func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 9 {
-		t.Fatalf("%d experiments, want 9", len(seen))
+	if len(seen) != 10 {
+		t.Fatalf("%d experiments, want 10", len(seen))
 	}
 }
 

@@ -68,7 +68,10 @@ func New() *Ledger {
 
 // Add records r rounds under the given tag. The cite string documents the
 // source of a Charged formula (ignored for Measured entries after first
-// use). Negative r is a programming error and panics.
+// use). Negative r is a programming error and panics, as is re-registering
+// an existing tag with a different Kind: silently merging measured and
+// charged rounds under one tag would corrupt the measured/charged split the
+// ledger exists to report.
 func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 	if r < 0 {
 		panic(fmt.Sprintf("rounds: negative charge %d for %q", r, tag))
@@ -80,6 +83,8 @@ func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 		e = &Entry{Tag: tag, Kind: kind, Cite: cite}
 		l.entries[tag] = e
 		l.order = append(l.order, tag)
+	} else if e.Kind != kind {
+		panic(fmt.Sprintf("rounds: tag %q re-registered as %v, was recorded as %v", tag, kind, e.Kind))
 	}
 	e.Rounds += r
 	e.Calls++
@@ -121,13 +126,25 @@ func (l *Ledger) Entries() []Entry {
 }
 
 // Report renders a human-readable multi-line summary, entries sorted by
-// descending round count.
+// descending round count. The header totals and the rows are computed from
+// one atomic snapshot, so a report rendered during concurrent Add calls is
+// internally consistent (the header always equals the sum of its rows).
 func (l *Ledger) Report() string {
 	es := l.Entries()
 	sort.Slice(es, func(i, j int) bool { return es[i].Rounds > es[j].Rounds })
+	var total, measured, charged int64
+	for _, e := range es {
+		total += e.Rounds
+		switch e.Kind {
+		case Measured:
+			measured += e.Rounds
+		case Charged:
+			charged += e.Rounds
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "total rounds: %d (measured %d, charged %d)\n",
-		l.Total(), l.TotalOf(Measured), l.TotalOf(Charged))
+		total, measured, charged)
 	for _, e := range es {
 		fmt.Fprintf(&b, "  %-28s %10d rounds  %6d calls  [%s] %s\n",
 			e.Tag, e.Rounds, e.Calls, e.Kind, e.Cite)

@@ -1,6 +1,7 @@
 package rounds
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -75,6 +76,76 @@ func TestLedgerConcurrent(t *testing.T) {
 	if got := l.Total(); got != 5000 {
 		t.Fatalf("Total = %d, want 5000", got)
 	}
+}
+
+func TestLedgerRejectsKindConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a tag with a different kind should panic")
+		}
+	}()
+	l := New()
+	l.Add("apsp", Charged, 3, CiteAPSP)
+	l.Add("apsp", Measured, 1, "")
+}
+
+// TestLedgerReportConsistentUnderConcurrentAdds hammers Add from many
+// goroutines while repeatedly rendering reports; every report's header
+// total must equal the sum of its own rows (the totals come from one
+// snapshot, not three separate lock acquisitions). Run under -race this
+// also stresses the locking itself.
+func TestLedgerReportConsistentUnderConcurrentAdds(t *testing.T) {
+	l := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tag := []string{"alpha", "beta", "gamma", "delta"}[i%4]
+			kind := Measured
+			if i%4 >= 2 {
+				kind = Charged
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					l.Add(tag, kind, 3, "")
+				}
+			}
+		}(i)
+	}
+	for rep := 0; rep < 200; rep++ {
+		r := l.Report()
+		var headTotal, headMeasured, headCharged int64
+		if _, err := fmt.Sscanf(r, "total rounds: %d (measured %d, charged %d)",
+			&headTotal, &headMeasured, &headCharged); err != nil {
+			t.Fatalf("unparseable report header: %v\n%s", err, r)
+		}
+		if headTotal != headMeasured+headCharged {
+			t.Fatalf("header disagrees with itself: %d != %d + %d\n%s",
+				headTotal, headMeasured, headCharged, r)
+		}
+		var rowTotal int64
+		for _, line := range strings.Split(r, "\n")[1:] {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var tag string
+			var rounds, calls int64
+			if _, err := fmt.Sscanf(line, "%s %d rounds %d calls", &tag, &rounds, &calls); err != nil {
+				t.Fatalf("unparseable row %q: %v", line, err)
+			}
+			rowTotal += rounds
+		}
+		if rowTotal != headTotal {
+			t.Fatalf("report header total %d disagrees with row sum %d:\n%s", headTotal, rowTotal, r)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestAPSPRounds(t *testing.T) {
