@@ -1,16 +1,21 @@
-# Build/verify entry points. `make check` is the CI gate: it vets, builds,
-# runs the full test suite under the race detector (continuously validating
-# the parallel engine and the concurrent round ledger), and smoke-runs every
-# benchmark once so the benchmark programs themselves cannot rot.
+# Build/verify entry points. `make check` is the CI gate: it checks
+# formatting, vets, builds, runs the full test suite under the race detector
+# (continuously validating the parallel engine and the concurrent round
+# ledger), and smoke-runs every benchmark once so the benchmark programs
+# themselves cannot rot.
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-engine bench-baseline check experiments
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline check experiments trace-smoke
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Fail if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -36,4 +41,9 @@ bench-baseline:
 experiments:
 	$(GO) run ./cmd/experiments
 
-check: vet build race bench-smoke
+# One traced solve per algorithm layer; validates the JSONL event stream
+# against the schema and enforces the >= 95% span-attribution bar.
+trace-smoke:
+	$(GO) test -count=1 -run TestTraceSmoke ./internal/trace/
+
+check: fmt-check vet build race bench-smoke

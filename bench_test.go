@@ -83,7 +83,7 @@ func BenchmarkE3Eulerian(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		led := rounds.New()
-		if _, _, err := euler.Orient(g, nil, led); err != nil {
+		if _, _, err := euler.Orient(g, nil, euler.Options{Ledger: led}); err != nil {
 			b.Fatal(err)
 		}
 		lastRounds = led.Total()

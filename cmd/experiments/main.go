@@ -6,6 +6,7 @@
 //	go run ./cmd/experiments            # all experiments
 //	go run ./cmd/experiments -run E3,E5 # a subset
 //	go run ./cmd/experiments -quick     # smaller sweeps
+//	go run ./cmd/experiments -trace out.json  # traced stack profile only
 package main
 
 import (
@@ -15,12 +16,33 @@ import (
 	"strings"
 
 	"lapcc/internal/experiments"
+	"lapcc/internal/trace"
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E11) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	trOut := flag.String("trace", "", "run one traced solve per algorithm and write a Chrome trace_event file")
+	trEv := flag.String("trace-events", "", "like -trace but writing the deterministic JSONL event stream")
 	flag.Parse()
+
+	if *trOut != "" || *trEv != "" {
+		tr := trace.New()
+		if err := experiments.TraceProfile(os.Stdout, *quick, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "trace profile failed:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteFiles(*trOut, *trEv); err != nil {
+			fmt.Fprintln(os.Stderr, "trace export failed:", err)
+			os.Exit(1)
+		}
+		for _, p := range []string{*trOut, *trEv} {
+			if p != "" {
+				fmt.Printf("trace: wrote %s\n", p)
+			}
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *runFlag == "all" {

@@ -8,6 +8,7 @@
 //	go run ./cmd/flowcc -algo maxflow -gen layered -width 6
 //	go run ./cmd/flowcc -algo mincost -n 8
 //	go run ./cmd/flowcc -algo maxflow -arcs net.txt -source 0 -sink 9
+//	go run ./cmd/flowcc -algo maxflow -trace out.json   # Perfetto-loadable
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
+	"lapcc/internal/trace"
 )
 
 func main() {
@@ -40,8 +42,30 @@ func run() error {
 		source = flag.Int("source", 0, "source vertex")
 		sink   = flag.Int("sink", -1, "sink vertex (default n-1)")
 		seed   = flag.Int64("seed", 7, "generator seed")
+		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
 	)
 	flag.Parse()
+
+	var tr *trace.Tracer
+	if *trOut != "" || *trEv != "" {
+		tr = trace.New()
+	}
+	finishTrace := func() error {
+		if !tr.Enabled() {
+			return nil
+		}
+		fmt.Println(tr.Summary())
+		if err := tr.WriteFiles(*trOut, *trEv); err != nil {
+			return err
+		}
+		for _, p := range []string{*trOut, *trEv} {
+			if p != "" {
+				fmt.Printf("trace: wrote %s\n", p)
+			}
+		}
+		return nil
+	}
 
 	switch *algo {
 	case "maxflow":
@@ -59,7 +83,7 @@ func run() error {
 		if t < 0 {
 			t = dg.N() - 1
 		}
-		res, err := core.MaxFlow(dg, *source, t)
+		res, err := core.MaxFlowTraced(dg, *source, t, tr)
 		if err != nil {
 			return err
 		}
@@ -72,7 +96,7 @@ func run() error {
 		}
 		fmt.Printf("baselines: Ford-Fulkerson %d rounds, trivial gather %d rounds\n",
 			ff.Rounds, maxflow.TrivialRounds(dg))
-		return nil
+		return finishTrace()
 
 	case "mincost":
 		var dg *graph.DiGraph
@@ -94,7 +118,7 @@ func run() error {
 		} else {
 			dg, sigma = assignmentInstance(*n, *n, 3, *maxW, *seed)
 		}
-		res, err := core.MinCostFlow(dg, sigma)
+		res, err := core.MinCostFlowTraced(dg, sigma, tr)
 		if err != nil {
 			return err
 		}
@@ -106,7 +130,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("oracle agreement: %v (SSP cost %d)\n", oracleCost == res.Cost, oracleCost)
-		return nil
+		return finishTrace()
 
 	default:
 		return fmt.Errorf("unknown -algo %q (want maxflow or mincost)", *algo)

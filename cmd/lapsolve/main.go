@@ -9,6 +9,7 @@
 //
 //	go run ./cmd/lapsolve -gen regular -n 256 -eps 1e-8
 //	go run ./cmd/lapsolve -graph edges.txt -source 0 -sink 9
+//	go run ./cmd/lapsolve -trace out.json   # load out.json in Perfetto
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/trace"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func run() error {
 		eps    = flag.Float64("eps", 1e-8, "target relative error in the L_G norm")
 		source = flag.Int("source", 0, "pole with +1 charge")
 		sink   = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
+		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
 	)
 	flag.Parse()
 
@@ -60,7 +64,11 @@ func run() error {
 	b := linalg.NewVec(g.N())
 	b[*source] = 1
 	b[t] = -1
-	res, err := core.SolveLaplacian(g, b, *eps)
+	var tr *trace.Tracer
+	if *trOut != "" || *trEv != "" {
+		tr = trace.New()
+	}
+	res, err := core.SolveLaplacianTraced(g, b, *eps, tr)
 	if err != nil {
 		return err
 	}
@@ -69,6 +77,17 @@ func run() error {
 		*source, t, res.X[*source]-res.X[t])
 	fmt.Printf("sparsifier: %d edges; chebyshev iterations: %d\n", res.SparsifierEdges, res.Iterations)
 	fmt.Println(res.Rounds.Breakdown)
+	if tr.Enabled() {
+		fmt.Println(tr.Summary())
+		if err := tr.WriteFiles(*trOut, *trEv); err != nil {
+			return err
+		}
+		for _, p := range []string{*trOut, *trEv} {
+			if p != "" {
+				fmt.Printf("trace: wrote %s\n", p)
+			}
+		}
+	}
 	return nil
 }
 

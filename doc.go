@@ -30,4 +30,25 @@
 // timings; see experiment E10). Randomized differential tests pin the
 // parallel, sequential, and legacy-reference executions to each other, and
 // `make check` runs the simulator's test suite under the race detector.
+//
+// # Tracing convention
+//
+// Every algorithm layer's Options struct carries the same optional field
+// with the same doc comment:
+//
+//	// Trace, if non-nil, receives hierarchical span and cost events for
+//	// this call (see internal/trace); a nil tracer records nothing and
+//	// costs nothing.
+//	Trace *trace.Tracer
+//
+// Entry points attach the tracer to their ledger (trace.Tracer.Attach) and
+// open named spans around their phases, so ledger costs recorded anywhere
+// below are attributed to the innermost open span. Layers that wrap other
+// layers forward the tracer through the nested Options. Because every
+// tracer method is safe on a nil receiver, call sites thread the field
+// unconditionally — a disabled trace is a nil pointer, costs nothing, and
+// allocates nothing. Results embed rounds.Stats (measured/charged rounds,
+// wall time, span count) for the same call window. See internal/trace for
+// the span model and the JSONL/Chrome exports, and the -trace flags on
+// cmd/lapsolve, cmd/flowcc, and cmd/experiments for ready-made profiles.
 package lapcc

@@ -239,6 +239,13 @@ func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Pack
 	if ledger != nil && res.Charged > 0 {
 		ledger.Add(tag, rounds.Measured, res.Charged, rounds.CiteLenzen)
 	}
+	if ledger != nil && ledger.HasSink() {
+		var words int64
+		for _, p := range packets {
+			words += 1 + int64(len(p.Data))
+		}
+		ledger.AddTraffic(tag, res.LinkMessages, words)
+	}
 	// Deterministic per-destination order (by source, then payload) so the
 	// overall simulation is reproducible even though the model itself
 	// delivers unordered sets.

@@ -24,6 +24,7 @@ import (
 	"lapcc/internal/mcmf"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // RoundReport summarizes where an algorithm's congested-clique rounds went.
@@ -61,8 +62,14 @@ type LaplacianResult struct {
 // SolveLaplacian solves L_G x = b to relative precision eps in the L_G
 // norm (Theorem 1.1). g must be connected with positive edge weights.
 func SolveLaplacian(g *graph.Graph, b linalg.Vec, eps float64) (*LaplacianResult, error) {
+	return SolveLaplacianTraced(g, b, eps, nil)
+}
+
+// SolveLaplacianTraced is SolveLaplacian recording spans into tr (nil for
+// no tracing).
+func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.Tracer) (*LaplacianResult, error) {
 	led := rounds.New()
-	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led})
+	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -90,8 +97,13 @@ type SparsifyResult struct {
 // Sparsify computes the deterministic spectral sparsifier of Theorem 3.3
 // and measures its approximation factor.
 func Sparsify(g *graph.Graph) (*SparsifyResult, error) {
+	return SparsifyTraced(g, nil)
+}
+
+// SparsifyTraced is Sparsify recording spans into tr (nil for no tracing).
+func SparsifyTraced(g *graph.Graph, tr *trace.Tracer) (*SparsifyResult, error) {
 	led := rounds.New()
-	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led})
+	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +129,14 @@ type EulerianResult struct {
 // EulerianOrient orients every edge of an even-degree graph so each vertex
 // has equal in- and out-degree (Theorem 1.4).
 func EulerianOrient(g *graph.Graph) (*EulerianResult, error) {
+	return EulerianOrientTraced(g, nil)
+}
+
+// EulerianOrientTraced is EulerianOrient recording spans into tr (nil for
+// no tracing).
+func EulerianOrientTraced(g *graph.Graph, tr *trace.Tracer) (*EulerianResult, error) {
 	led := rounds.New()
-	orient, st, err := euler.Orient(g, nil, led)
+	orient, st, err := euler.Orient(g, nil, euler.Options{Ledger: led, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +154,14 @@ type RoundFlowResult struct {
 // integral flow without decreasing its value (Lemma 4.2). With useCosts,
 // the cost does not increase when the input value is integral.
 func RoundFlow(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool) (*RoundFlowResult, error) {
+	return RoundFlowTraced(dg, f, s, t, delta, useCosts, nil)
+}
+
+// RoundFlowTraced is RoundFlow recording spans into tr (nil for no
+// tracing).
+func RoundFlowTraced(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, tr *trace.Tracer) (*RoundFlowResult, error) {
 	led := rounds.New()
-	out, err := flowround.Round(dg, f, s, t, delta, useCosts, led)
+	out, err := flowround.RoundWith(dg, f, s, t, delta, useCosts, flowround.Options{Ledger: led, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +182,13 @@ type MaxFlowResult struct {
 
 // MaxFlow computes the exact maximum s-t flow (Theorem 1.2).
 func MaxFlow(dg *graph.DiGraph, s, t int) (*MaxFlowResult, error) {
+	return MaxFlowTraced(dg, s, t, nil)
+}
+
+// MaxFlowTraced is MaxFlow recording spans into tr (nil for no tracing).
+func MaxFlowTraced(dg *graph.DiGraph, s, t int, tr *trace.Tracer) (*MaxFlowResult, error) {
 	led := rounds.New()
-	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true})
+	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -188,8 +217,14 @@ type MinCostFlowResult struct {
 // MinCostFlow routes the demand vector sigma on a unit-capacity digraph at
 // exactly minimum cost (Theorem 1.3).
 func MinCostFlow(dg *graph.DiGraph, sigma []int64) (*MinCostFlowResult, error) {
+	return MinCostFlowTraced(dg, sigma, nil)
+}
+
+// MinCostFlowTraced is MinCostFlow recording spans into tr (nil for no
+// tracing).
+func MinCostFlowTraced(dg *graph.DiGraph, sigma []int64, tr *trace.Tracer) (*MinCostFlowResult, error) {
 	led := rounds.New()
-	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led})
+	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr})
 	if err != nil {
 		return nil, err
 	}

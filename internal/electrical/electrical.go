@@ -14,6 +14,7 @@ import (
 	"lapcc/internal/lapsolver"
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
 
 // Network is a resistive network: an undirected graph whose edge weights
@@ -34,6 +35,10 @@ type Options struct {
 	// Ledger, if non-nil, receives round costs (also wired into the
 	// solver when its own ledger is unset).
 	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 // NewNetwork prepares a network for repeated electrical queries; the
@@ -41,6 +46,9 @@ type Options struct {
 func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 	if opts.Ledger != nil && opts.Solver.Ledger == nil {
 		opts.Solver.Ledger = opts.Ledger
+	}
+	if opts.Trace != nil && opts.Solver.Trace == nil {
+		opts.Solver.Trace = opts.Trace
 	}
 	s, err := lapsolver.NewSolver(g, opts.Solver)
 	if err != nil {

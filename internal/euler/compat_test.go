@@ -1,0 +1,80 @@
+package euler
+
+import (
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/rounds"
+)
+
+// TestDeprecatedWrappersMatchOrient pins the deprecated pre-Options entry
+// points to the new API: same orientation, same ledger accounting.
+func TestDeprecatedWrappersMatchOrient(t *testing.T) {
+	g, err := graph.RandomEulerian(64, 6, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newLed := rounds.New()
+	want, wantStats, err := Orient(g, nil, Options{Ledger: newLed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldLed := rounds.New()
+	got, gotStats, err := OrientLedger(g, nil, oldLed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("orientation lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d oriented differently via OrientLedger", i)
+		}
+	}
+	if gotStats.Iterations != wantStats.Iterations || oldLed.Total() != newLed.Total() {
+		t.Fatalf("OrientLedger accounting differs: %d iters / %d rounds vs %d / %d",
+			gotStats.Iterations, oldLed.Total(), wantStats.Iterations, newLed.Total())
+	}
+
+	withLed := rounds.New()
+	got2, _, err := OrientWith(g, nil, withLed, Options{Mode: Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got2 {
+		if got2[i] != want[i] {
+			t.Fatalf("edge %d oriented differently via OrientWith", i)
+		}
+	}
+	if v := CheckOrientation(g, got2); v != -1 {
+		t.Fatalf("OrientWith produced an unbalanced orientation at vertex %d", v)
+	}
+	if withLed.Total() != newLed.Total() {
+		t.Fatalf("OrientWith rounds %d, want %d", withLed.Total(), newLed.Total())
+	}
+}
+
+// TestOrientStatsEmbedSharedAccounting checks the rounds.Stats embedding:
+// the measured/charged split of the call window must match the ledger.
+func TestOrientStatsEmbedSharedAccounting(t *testing.T) {
+	g, err := graph.RandomEulerian(64, 6, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := rounds.New()
+	_, st, err := Orient(g, nil, Options{Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalRounds() != led.Total() {
+		t.Fatalf("stats total %d, ledger total %d", st.TotalRounds(), led.Total())
+	}
+	if st.MeasuredRounds == 0 {
+		t.Fatal("orientation measured no rounds")
+	}
+	if st.Spans != 0 {
+		t.Fatalf("untraced run reports %d spans", st.Spans)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"lapcc/internal/ccalgo"
 	"lapcc/internal/graph"
 	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
 
 // ErrNotEulerian reports a vertex of odd degree.
@@ -80,10 +81,18 @@ type Options struct {
 	Mode Mode
 	// Seed drives the Randomized mode's marking.
 	Seed int64
+	// Ledger, if non-nil, records the round costs of the run.
+	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 // Stats reports the execution of one orientation.
 type Stats struct {
+	// Stats carries the shared round accounting of the call.
+	rounds.Stats
 	// Iterations is the number of contraction iterations (O(log n)).
 	Iterations int
 	// States is the number of directed states (2m).
@@ -93,18 +102,38 @@ type Stats struct {
 	DeadProbes int
 }
 
-// Orient computes an Eulerian orientation of g with the deterministic
-// Theorem 1.4 algorithm. The returned slice has one entry per edge: true
-// means the edge is oriented from Edge.U to Edge.V. dirCost, if non-nil,
-// must have one signed cost per edge (see the package comment); every
-// implicit cycle's chosen direction then has non-positive total cost.
-// Rounds are recorded in led (which may be nil).
-func Orient(g *graph.Graph, dirCost []int64, led *rounds.Ledger) ([]bool, Stats, error) {
-	return OrientWith(g, dirCost, led, Options{})
+// Orient computes an Eulerian orientation of g with the Theorem 1.4
+// algorithm (deterministic unless opts.Mode says otherwise). The returned
+// slice has one entry per edge: true means the edge is oriented from
+// Edge.U to Edge.V. dirCost, if non-nil, must have one signed cost per
+// edge (see the package comment); every implicit cycle's chosen direction
+// then has non-positive total cost. Rounds are recorded in opts.Ledger
+// (which may be nil).
+func Orient(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, error) {
+	snap := rounds.Snap(opts.Ledger)
+	spansBefore := opts.Trace.SpanCount()
+	orient, stats, err := orientImpl(g, dirCost, opts)
+	stats.Stats = snap.Stats()
+	stats.Spans = opts.Trace.SpanCount() - spansBefore
+	return orient, stats, err
 }
 
-// OrientWith is Orient with an explicit marking mode.
+// OrientLedger is the pre-Options form of Orient.
+//
+// Deprecated: use Orient with Options{Ledger: led}.
+func OrientLedger(g *graph.Graph, dirCost []int64, led *rounds.Ledger) ([]bool, Stats, error) {
+	return Orient(g, dirCost, Options{Ledger: led})
+}
+
+// OrientWith is the pre-Options form of Orient with an explicit mode.
+//
+// Deprecated: use Orient and set Options.Ledger alongside the mode.
 func OrientWith(g *graph.Graph, dirCost []int64, led *rounds.Ledger, opts Options) ([]bool, Stats, error) {
+	opts.Ledger = led
+	return Orient(g, dirCost, opts)
+}
+
+func orientImpl(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, error) {
 	if !g.IsEulerian() {
 		return nil, Stats{}, ErrNotEulerian
 	}
@@ -119,6 +148,10 @@ func OrientWith(g *graph.Graph, dirCost []int64, led *rounds.Ledger, opts Option
 	if opts.Mode == 0 {
 		opts.Mode = Deterministic
 	}
+	led, tr := opts.Ledger, opts.Trace
+	tr.Attach(led)
+	sp := tr.Start("euler-orient")
+	defer sp.End()
 	s := newStateSet(g, dirCost, opts)
 
 	// Contraction loop: reduce every ring to a single leader state. The
@@ -133,7 +166,10 @@ func OrientWith(g *graph.Graph, dirCost []int64, led *rounds.Ledger, opts Option
 		if iter >= maxIter {
 			return nil, Stats{}, fmt.Errorf("euler: contraction did not finish in %d iterations", maxIter)
 		}
-		if err := s.contractOnce(n, led, iter); err != nil {
+		isp := tr.Startf("contract-%d", iter)
+		err := s.contractOnce(n, led, iter)
+		isp.End()
+		if err != nil {
 			return nil, Stats{}, err
 		}
 		iter++
@@ -141,11 +177,16 @@ func OrientWith(g *graph.Graph, dirCost []int64, led *rounds.Ledger, opts Option
 
 	// Leaders decide; decisions flow back down the contraction tree.
 	s.decideAtLeaders()
-	if err := s.expand(n, led); err != nil {
+	esp := tr.Start("expand")
+	err := s.expand(n, led)
+	esp.End()
+	if err != nil {
 		return nil, Stats{}, err
 	}
 
+	msp := tr.Start("mirror")
 	orient, err := s.resolveOrientations(n, led)
+	msp.End()
 	if err != nil {
 		return nil, Stats{}, err
 	}

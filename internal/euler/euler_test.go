@@ -12,14 +12,14 @@ import (
 
 func TestOrientRejectsOddDegree(t *testing.T) {
 	g := graph.Path(4)
-	if _, _, err := Orient(g, nil, nil); !errors.Is(err, ErrNotEulerian) {
+	if _, _, err := Orient(g, nil, Options{}); !errors.Is(err, ErrNotEulerian) {
 		t.Fatalf("error = %v, want ErrNotEulerian", err)
 	}
 }
 
 func TestOrientEmptyGraph(t *testing.T) {
 	g := graph.New(5)
-	orient, st, err := Orient(g, nil, nil)
+	orient, st, err := Orient(g, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestOrientSingleCycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		orient, _, err := Orient(g, nil, rounds.New())
+		orient, _, err := Orient(g, nil, Options{Ledger: rounds.New()})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -48,7 +48,7 @@ func TestOrientParallelEdges(t *testing.T) {
 	g := graph.New(2)
 	g.MustAddEdge(0, 1, 1)
 	g.MustAddEdge(0, 1, 1)
-	orient, _, err := Orient(g, nil, nil)
+	orient, _, err := Orient(g, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestOrientUnionOfCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 	led := rounds.New()
-	orient, st, err := Orient(g, nil, led)
+	orient, st, err := Orient(g, nil, Options{Ledger: led})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestOrientUnionOfCycles(t *testing.T) {
 func TestOrientCompleteGraphOddN(t *testing.T) {
 	// K_n for odd n is Eulerian (all degrees n-1 even).
 	g := graph.Complete(9)
-	orient, _, err := Orient(g, nil, rounds.New())
+	orient, _, err := Orient(g, nil, Options{Ledger: rounds.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestOrientCostGuarantee(t *testing.T) {
 	for i := range cost {
 		cost[i] = rng.Int63n(41) - 20
 	}
-	orient, _, err := Orient(g, cost, rounds.New())
+	orient, _, err := Orient(g, cost, Options{Ledger: rounds.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestOrientForcedEdgeDirection(t *testing.T) {
 	}
 	cost := make([]int64, g.M())
 	cost[2] = -(1 << 40)
-	orient, _, err := Orient(g, cost, nil)
+	orient, _, err := Orient(g, cost, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestOrientRoundsScaling(t *testing.T) {
 			t.Fatal(err)
 		}
 		led := rounds.New()
-		if _, _, err := Orient(g, nil, led); err != nil {
+		if _, _, err := Orient(g, nil, Options{Ledger: led}); err != nil {
 			t.Fatal(err)
 		}
 		return led.Total()
@@ -195,7 +195,7 @@ func TestOrientProperty(t *testing.T) {
 		for i := range cost {
 			cost[i] = rng.Int63n(21) - 10
 		}
-		orient, _, err := Orient(g, cost, nil)
+		orient, _, err := Orient(g, cost, Options{})
 		if err != nil {
 			return false
 		}

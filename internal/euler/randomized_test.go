@@ -14,7 +14,7 @@ func TestOrientRandomizedValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	led := rounds.New()
-	orient, st, err := OrientWith(g, nil, led, Options{Mode: Randomized, Seed: 42})
+	orient, st, err := Orient(g, nil, Options{Mode: Randomized, Seed: 42, Ledger: led})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +31,11 @@ func TestOrientRandomizedDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _, err := OrientWith(g, nil, nil, Options{Mode: Randomized, Seed: 7})
+	a, _, err := Orient(g, nil, Options{Mode: Randomized, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := OrientWith(g, nil, nil, Options{Mode: Randomized, Seed: 7})
+	b, _, err := Orient(g, nil, Options{Mode: Randomized, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestOrientRandomizedCostGuarantee(t *testing.T) {
 	for i := range cost {
 		cost[i] = int64(i%21) - 10
 	}
-	orient, _, err := OrientWith(g, cost, nil, Options{Mode: Randomized, Seed: 3})
+	orient, _, err := Orient(g, cost, Options{Mode: Randomized, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestOrientRandomizedSkipsColoringRounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	led := rounds.New()
-	if _, _, err := OrientWith(g, nil, led, Options{Mode: Randomized, Seed: 1}); err != nil {
+	if _, _, err := Orient(g, nil, Options{Mode: Randomized, Seed: 1, Ledger: led}); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range led.Entries() {
@@ -102,11 +102,11 @@ func TestOrientModesAgreeOnValidity(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		d, _, err := OrientWith(g, nil, nil, Options{Mode: Deterministic})
+		d, _, err := Orient(g, nil, Options{Mode: Deterministic})
 		if err != nil {
 			return false
 		}
-		r, _, err := OrientWith(g, nil, nil, Options{Mode: Randomized, Seed: seed})
+		r, _, err := Orient(g, nil, Options{Mode: Randomized, Seed: seed})
 		if err != nil {
 			return false
 		}

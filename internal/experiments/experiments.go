@@ -21,6 +21,7 @@ import (
 	"lapcc/internal/mcmf"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // Experiment is one reproducible table generator.
@@ -46,6 +47,7 @@ func All() []Experiment {
 		{"E8", "E8 — Cor 2.3 ablation: Chebyshev iterations ~ sqrt(kappa) log(1/eps)", e8Chebyshev},
 		{"E9", "E9 — section 1.1 model comparison: clique vs CONGEST vs BCC round formulas", e9RelatedWork},
 		{"E10", "E10 — engine instrumentation: per-round load profile and parallel speedup", e10Instrumentation},
+		{"E11", "E11 — trace profile: per-phase round attribution across the algorithm stack", e11TraceProfile},
 	}
 }
 
@@ -222,7 +224,7 @@ func e3Eulerian(w io.Writer, quick bool) error {
 			return err
 		}
 		led := rounds.New()
-		_, st, err := euler.Orient(g, nil, led)
+		_, st, err := euler.Orient(g, nil, euler.Options{Ledger: led})
 		if err != nil {
 			return err
 		}
@@ -242,12 +244,12 @@ func e3Eulerian(w io.Writer, quick bool) error {
 			return err
 		}
 		detLed := rounds.New()
-		_, detStats, err := euler.OrientWith(g, nil, detLed, euler.Options{Mode: euler.Deterministic})
+		_, detStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Deterministic, Ledger: detLed})
 		if err != nil {
 			return err
 		}
 		rndLed := rounds.New()
-		_, rndStats, err := euler.OrientWith(g, nil, rndLed, euler.Options{Mode: euler.Randomized, Seed: int64(n)})
+		_, rndStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Randomized, Seed: int64(n), Ledger: rndLed})
 		if err != nil {
 			return err
 		}
@@ -738,5 +740,107 @@ func e10Instrumentation(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "are bit-identical in both modes, and the parallel/sequential ratio tracks the")
 	fmt.Fprintln(w, "host's core count (~1x on single-core machines, where the engine's win is the")
 	fmt.Fprintln(w, "allocation-free hot path). Wall-clock rows vary per host; the count columns do not.")
+	return nil
+}
+
+// --- E11 ------------------------------------------------------------------
+
+// e11Workloads returns one traced run per algorithm layer: each entry
+// builds a fresh tracer, runs the workload with it attached, and hands the
+// tracer back for summarizing. This is the structured replacement for the
+// ad-hoc per-phase printing the older experiments did by hand.
+func e11Workloads(quick bool) []struct {
+	Name string
+	Run  func(tr *trace.Tracer) error
+} {
+	n := 128
+	if quick {
+		n = 64
+	}
+	return []struct {
+		Name string
+		Run  func(tr *trace.Tracer) error
+	}{
+		{"lapsolve", func(tr *trace.Tracer) error {
+			g, err := graph.RandomRegular(n, 8, int64(n))
+			if err != nil {
+				return err
+			}
+			led := rounds.New()
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr})
+			if err != nil {
+				return err
+			}
+			_, _, err = s.Solve(twoPole(n), 1e-8)
+			return err
+		}},
+		{"sparsify", func(tr *trace.Tracer) error {
+			g, err := graph.RandomRegular(n, 8, int64(n)+1)
+			if err != nil {
+				return err
+			}
+			led := rounds.New()
+			_, err = sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr})
+			return err
+		}},
+		{"euler", func(tr *trace.Tracer) error {
+			g, err := graph.RandomEulerian(n, n/16+2, 3, int64(n))
+			if err != nil {
+				return err
+			}
+			led := rounds.New()
+			_, _, err = euler.Orient(g, nil, euler.Options{Ledger: led, Trace: tr})
+			return err
+		}},
+		{"flowround", func(tr *trace.Tracer) error {
+			dg, f, s, t := pathFlows(24, 10, 1.0/256, 31)
+			led := rounds.New()
+			_, err := flowround.RoundWith(dg, f, s, t, 1.0/256, false, flowround.Options{Ledger: led, Trace: tr})
+			return err
+		}},
+		{"maxflow", func(tr *trace.Tracer) error {
+			dg := graph.LayeredDAG(3, 4, 2, 8, 17)
+			led := rounds.New()
+			_, err := maxflow.MaxFlow(dg, 0, dg.N()-1, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr})
+			return err
+		}},
+		{"mcmf", func(tr *trace.Tracer) error {
+			dg, sigma := assignment(4, 4, 3, 16, 5)
+			led := rounds.New()
+			_, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr})
+			return err
+		}},
+	}
+}
+
+// TraceProfile runs one traced workload per algorithm layer on the single
+// tracer tr, wrapping each workload in a top-level span named after its
+// algorithm, and prints the combined per-phase summary to w. The
+// cmd/experiments -trace flag drives this; the caller exports tr
+// afterwards.
+func TraceProfile(w io.Writer, quick bool, tr *trace.Tracer) error {
+	for _, wl := range e11Workloads(quick) {
+		sp := tr.Start(wl.Name)
+		err := wl.Run(tr)
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("trace profile: %s: %w", wl.Name, err)
+		}
+	}
+	fmt.Fprintln(w, tr.Summary())
+	return nil
+}
+
+func e11TraceProfile(w io.Writer, quick bool) error {
+	for _, wl := range e11Workloads(quick) {
+		tr := trace.New()
+		if err := wl.Run(tr); err != nil {
+			return fmt.Errorf("e11: %s: %w", wl.Name, err)
+		}
+		fmt.Fprintf(w, "-- %s --\n", wl.Name)
+		fmt.Fprintln(w, tr.Summary())
+	}
+	fmt.Fprintln(w, "claim shape: every measured/charged round lands in a named span; the")
+	fmt.Fprintln(w, "per-phase split shows where each theorem's round budget actually goes.")
 	return nil
 }

@@ -17,8 +17,8 @@ func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 10 {
-		t.Fatalf("%d experiments, want 10", len(seen))
+	if len(seen) != 11 {
+		t.Fatalf("%d experiments, want 11", len(seen))
 	}
 }
 

@@ -17,7 +17,23 @@ import (
 	"lapcc/internal/euler"
 	"lapcc/internal/graph"
 	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
+
+// Options configures RoundWith.
+type Options struct {
+	// Ledger, if non-nil, records the round costs of the run.
+	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
+	// EulerMode, if non-zero, selects the orientation marking strategy of
+	// each scaling level (defaults to euler.Deterministic).
+	EulerMode euler.Mode
+	// EulerSeed drives euler.Randomized markings.
+	EulerSeed int64
+}
 
 // forcedCost is the sentinel cost forcing the virtual (t,s) arc to be a
 // forward edge of any cycle containing it (Algorithm 1, line 8).
@@ -43,6 +59,15 @@ var ErrNotConserved = errors.New("flowround: flow does not satisfy conservation"
 // conserves at every vertex except s and t, and has value at least the
 // input's.
 func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, led *rounds.Ledger) ([]int64, error) {
+	return RoundWith(dg, f, s, t, delta, useCosts, Options{Ledger: led})
+}
+
+// RoundWith is Round with full Options (tracing, orientation mode).
+func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, opts Options) ([]int64, error) {
+	led, tr := opts.Ledger, opts.Trace
+	tr.Attach(led)
+	sp := tr.Start("flowround")
+	defer sp.End()
 	if len(f) != dg.M() {
 		return nil, fmt.Errorf("flowround: %d flow values for %d arcs", len(f), dg.M())
 	}
@@ -88,6 +113,7 @@ func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts boo
 
 	levels := int(math.Round(math.Log2(1 / delta)))
 	for level := 0; level < levels; level++ {
+		lsp := tr.Startf("level-%d", level)
 		// E' = arcs whose flow is an odd multiple of the current unit.
 		var odd []int
 		for i := range unit {
@@ -122,8 +148,11 @@ func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts boo
 					dirCost = append(dirCost, -c)
 				}
 			}
-			orient, _, err := euler.Orient(g, dirCost, led)
+			orient, _, err := euler.Orient(g, dirCost, euler.Options{
+				Mode: opts.EulerMode, Seed: opts.EulerSeed, Ledger: led, Trace: tr,
+			})
 			if err != nil {
+				lsp.End()
 				return nil, fmt.Errorf("flowround: level %d: %w", level, err)
 			}
 			for j, i := range odd {
@@ -136,6 +165,7 @@ func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts boo
 					unit[i]--
 				}
 				if unit[i] < 0 {
+					lsp.End()
 					return nil, fmt.Errorf("flowround: arc %d driven negative at level %d", i, level)
 				}
 			}
@@ -143,10 +173,12 @@ func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts boo
 		// Rescale: unit doubles, so halve the counters.
 		for i := range unit {
 			if unit[i]%2 != 0 {
+				lsp.End()
 				return nil, fmt.Errorf("flowround: arc %d still odd after level %d", i, level)
 			}
 			unit[i] /= 2
 		}
+		lsp.End()
 	}
 
 	out := make([]int64, len(f))

@@ -25,6 +25,7 @@ import (
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // ErrDisconnected reports an input graph that is not connected; Laplacian
@@ -58,6 +59,10 @@ type Options struct {
 	InternalTol float64
 	// Ledger, if non-nil, receives round costs.
 	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults() {
@@ -72,6 +77,9 @@ func (o *Options) defaults() {
 	}
 	if o.Ledger != nil && o.Sparsify.Ledger == nil {
 		o.Sparsify.Ledger = o.Ledger
+	}
+	if o.Trace != nil && o.Sparsify.Trace == nil {
+		o.Sparsify.Trace = o.Trace
 	}
 }
 
@@ -90,6 +98,8 @@ type Solver struct {
 
 // Stats reports one Solve call.
 type Stats struct {
+	// Stats carries the shared round accounting of the call.
+	rounds.Stats
 	// Iterations is the total number of Chebyshev iterations across all
 	// kappa attempts; each iteration costs one measured round.
 	Iterations int
@@ -107,12 +117,16 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 	if !g.IsConnected() {
 		return nil, ErrDisconnected
 	}
+	opts.Trace.Attach(opts.Ledger)
+	sp := opts.Trace.Start("lapsolve-build")
+	defer sp.End()
 	var res *sparsify.Result
 	var err error
 	if opts.Randomized {
 		res, err = sparsify.RandomizedSparsify(g, sparsify.RandomOptions{
 			Seed:   opts.RandomSeed,
 			Ledger: opts.Ledger,
+			Trace:  opts.Trace,
 		})
 	} else {
 		res, err = sparsify.Sparsify(g, opts.Sparsify)
@@ -141,6 +155,17 @@ func (s *Solver) Laplacian() *linalg.Laplacian { return s.lg }
 // b is projected onto the solvable subspace (mean removed); eps must lie in
 // (0, 1/2].
 func (s *Solver) Solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
+	snap := rounds.Snap(s.opts.Ledger)
+	spansBefore := s.opts.Trace.SpanCount()
+	x, stats, err := s.solve(b, eps)
+	stats.Stats = snap.Stats()
+	stats.Spans = s.opts.Trace.SpanCount() - spansBefore
+	return x, stats, err
+}
+
+func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
+	sp := s.opts.Trace.Start("lapsolve")
+	defer sp.End()
 	if len(b) != s.g.N() {
 		return nil, Stats{}, fmt.Errorf("%w: %d for n=%d", ErrBadRHS, len(b), s.g.N())
 	}
@@ -166,6 +191,7 @@ func (s *Solver) Solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 	kappa := s.opts.KappaHint
 	for {
 		stats.Attempts++
+		asp := s.opts.Trace.Startf("attempt-%d", stats.Attempts)
 		scale := math.Sqrt(kappa)
 		bSolve := func(r linalg.Vec) (linalg.Vec, error) {
 			y, err := s.hSolve(r)
@@ -215,6 +241,7 @@ func (s *Solver) Solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 		if err != nil {
 			return nil, stats, err
 		}
+		asp.End()
 		if rNorm <= target*bNorm || kappa >= s.opts.MaxKappa {
 			if rNorm > target*bNorm {
 				return nil, stats, fmt.Errorf("lapsolver: kappa cap %v reached with residual ratio %v (target %v)",

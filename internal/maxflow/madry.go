@@ -11,6 +11,7 @@ import (
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // Options configures the interior-point max-flow path (Theorem 1.2).
@@ -31,6 +32,10 @@ type Options struct {
 	// SolveEps is the per-iteration Laplacian solve precision
 	// (default 1e-10, i.e. Omega(1/poly m) as the proof requires).
 	SolveEps float64
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults() {
@@ -44,6 +49,8 @@ func (o *Options) defaults() {
 
 // Result reports a Theorem 1.2 run.
 type Result struct {
+	// Stats carries the shared round accounting of the call.
+	rounds.Stats
 	// Value is the exact maximum flow value.
 	Value int64
 	// Flow is the per-arc integral optimal flow.
@@ -75,6 +82,17 @@ type Result struct {
 // m^{o(1)}); see DESIGN.md for all substitutions.
 func MaxFlow(dg *graph.DiGraph, s, t int, opts Options) (*Result, error) {
 	opts.defaults()
+	snap := rounds.Snap(opts.Ledger)
+	spansBefore := opts.Trace.SpanCount()
+	res, err := maxFlowImpl(dg, s, t, opts)
+	if res != nil {
+		res.Stats = snap.Stats()
+		res.Spans = opts.Trace.SpanCount() - spansBefore
+	}
+	return res, err
+}
+
+func maxFlowImpl(dg *graph.DiGraph, s, t int, opts Options) (*Result, error) {
 	if err := checkEndpoints(dg, s, t); err != nil {
 		return nil, err
 	}
@@ -82,10 +100,16 @@ func MaxFlow(dg *graph.DiGraph, s, t int, opts Options) (*Result, error) {
 	if dg.M() == 0 {
 		return res, nil
 	}
+	tr := opts.Trace
+	tr.Attach(opts.Ledger)
+	sp := tr.Start("maxflow")
+	defer sp.End()
 
 	// Target value; stands in for the outer binary search over F (whose
 	// O(log nU) factor the theorem absorbs into m^{o(1)}).
+	osp := tr.Start("oracle")
 	fstar, _, err := Dinic(dg, s, t)
+	osp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -93,18 +117,25 @@ func MaxFlow(dg *graph.DiGraph, s, t int, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	isp := tr.Start("init")
 	ipm, err := newIPMState(dg, s, t, fstar, opts)
+	isp.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := ipm.run(res); err != nil {
 		return nil, err
 	}
+	rsp := tr.Start("round")
 	rounded, err := ipm.roundFlow(res)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := finishWithAugmentation(dg, s, t, fstar, rounded, opts.Ledger, res); err != nil {
+	fsp := tr.Start("finish")
+	err = finishWithAugmentation(dg, s, t, fstar, rounded, opts.Ledger, res)
+	fsp.End()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -259,7 +290,7 @@ func (st *ipmState) solve(w []float64, b linalg.Vec) (linalg.Vec, error) {
 		}
 		return x, nil
 	}
-	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger})
+	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: electrical solve: %w", err)
 	}
@@ -273,6 +304,8 @@ func (st *ipmState) solve(w []float64, b linalg.Vec) (linalg.Vec, error) {
 // run executes the progress loop (Algorithm 2 lines 6-18): Augmentation and
 // Fixing steps, with Boosting when congestion concentrates.
 func (st *ipmState) run(res *Result) error {
+	sp := st.opts.Trace.Start("ipm")
+	defer sp.End()
 	res.IterBudget = st.budget
 	n := st.dg.N()
 	w := make([]float64, st.total)
@@ -298,6 +331,7 @@ func (st *ipmState) run(res *Result) error {
 			stagnant = 0
 		}
 		prevRemaining = remaining
+		isp := st.opts.Trace.Startf("iter-%d", iter)
 		// Resistances from the logarithmic barrier (Augmentation line 1),
 		// scaled by the Boosting multipliers.
 		for i := 0; i < st.total; i++ {
@@ -354,6 +388,7 @@ func (st *ipmState) run(res *Result) error {
 			if st.opts.Ledger != nil {
 				st.opts.Ledger.Add("maxflow-boost", rounds.Measured, 1, "Boosting, O(1) rounds")
 			}
+			isp.End()
 			continue
 		}
 		for i := 0; i < st.total; i++ {
@@ -362,7 +397,9 @@ func (st *ipmState) run(res *Result) error {
 
 		// Fixing (Algorithm 4): repair the conservation drift from the
 		// inexact solve with a second electrical flow.
-		if err := st.fix(w); err != nil {
+		err = st.fix(w)
+		isp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -503,7 +540,8 @@ func (st *ipmState) roundFlow(res *Result) ([]int64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: snapping IPM flow: %w", err)
 	}
-	rounded, err := flowround.Round(rdg, snapped, st.s, st.t, delta, false, st.opts.Ledger)
+	rounded, err := flowround.RoundWith(rdg, snapped, st.s, st.t, delta, false,
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: rounding IPM flow: %w", err)
 	}

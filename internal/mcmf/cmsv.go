@@ -11,6 +11,7 @@ import (
 	"lapcc/internal/rounds"
 	"lapcc/internal/shortestpath"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // Options configures the Theorem 1.3 pipeline.
@@ -27,6 +28,10 @@ type Options struct {
 	// DisableIPM skips Progress entirely (ablation: Repairing alone from
 	// the rounded half-integral start).
 	DisableIPM bool
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults() {
@@ -40,6 +45,8 @@ func (o *Options) defaults() {
 
 // Result reports a Theorem 1.3 run.
 type Result struct {
+	// Stats carries the shared round accounting of the call.
+	rounds.Stats
 	// Flow is the optimal per-arc 0/1 flow on the input digraph.
 	Flow []int64
 	// Cost is the exact minimum cost.
@@ -64,10 +71,25 @@ type Result struct {
 // the substitutions relative to CMSV17.
 func MinCostFlow(dg *graph.DiGraph, sigma []int64, opts Options) (*Result, error) {
 	opts.defaults()
+	snap := rounds.Snap(opts.Ledger)
+	spansBefore := opts.Trace.SpanCount()
+	res, err := minCostFlowImpl(dg, sigma, opts)
+	if res != nil {
+		res.Stats = snap.Stats()
+		res.Spans = opts.Trace.SpanCount() - spansBefore
+	}
+	return res, err
+}
+
+func minCostFlowImpl(dg *graph.DiGraph, sigma []int64, opts Options) (*Result, error) {
 	l, err := newLifted(dg, sigma)
 	if err != nil {
 		return nil, err
 	}
+	tr := opts.Trace
+	tr.Attach(opts.Ledger)
+	sp := tr.Start("mcmf")
+	defer sp.End()
 	res := &Result{}
 	ipm := newCMSVState(l, opts)
 	if !opts.DisableIPM {
@@ -75,11 +97,16 @@ func MinCostFlow(dg *graph.DiGraph, sigma []int64, opts Options) (*Result, error
 			return nil, err
 		}
 	}
+	rsp := tr.Start("round")
 	match, err := ipm.roundToMatching(res)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := ipm.repair(match, res); err != nil {
+	psp := tr.Start("repair")
+	err = ipm.repair(match, res)
+	psp.End()
+	if err != nil {
 		return nil, err
 	}
 	flow, err := l.decode(match)
@@ -245,13 +272,18 @@ func (st *cmsvState) run(res *Result) error {
 	rhoBound := cRho * math.Pow(m, 0.5-st.eta)
 	perturbFuse := 20 * st.l.edges()
 
+	sp := st.opts.Trace.Start("ipm")
+	defer sp.End()
 	for iter := 0; iter < budget; iter++ {
+		isp := st.opts.Trace.Startf("progress-%d", iter)
 		if iter > 0 {
 			for res.Perturbations < perturbFuse && st.weightedRhoNorm(3) > rhoBound {
 				st.perturb(res)
 			}
 		}
-		if err := st.progress(res); err != nil {
+		err := st.progress(res)
+		isp.End()
+		if err != nil {
 			return err
 		}
 		if mu := st.mu(); mu < 1.0/(8*m) {
@@ -450,7 +482,8 @@ func (st *cmsvState) roundToMatching(res *Result) ([]int64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: snapping bipartite flow: %w", err)
 	}
-	rounded, err := flowround.Round(rdg, snapped, S, T, delta, true, st.opts.Ledger)
+	rounded, err := flowround.RoundWith(rdg, snapped, S, T, delta, true,
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: rounding bipartite flow: %w", err)
 	}

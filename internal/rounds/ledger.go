@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Kind distinguishes measured from charged costs.
@@ -53,12 +54,30 @@ type Entry struct {
 	Cite   string
 }
 
+// Sink receives every cost the moment it is recorded in a Ledger, before
+// aggregation collapses it into per-tag entries. It is the hook that lets a
+// tracer (internal/trace) attribute rounds to the algorithm phase that was
+// active when they were spent. Implementations must be safe for concurrent
+// use and must not call back into the Ledger.
+type Sink interface {
+	RoundCost(tag string, kind Kind, r int64)
+}
+
+// TrafficSink is optionally implemented by a Sink that also wants
+// link-traffic counters (message and payload-word counts) from the
+// simulator's routing primitives. Traffic is observational only: it never
+// changes the ledger's round totals.
+type TrafficSink interface {
+	LinkTraffic(tag string, messages, words int64)
+}
+
 // Ledger accumulates round costs. The zero value is not usable; call New.
 // A Ledger is safe for concurrent use.
 type Ledger struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
 	order   []string
+	sink    Sink
 }
 
 // New returns an empty ledger.
@@ -77,17 +96,51 @@ func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 		panic(fmt.Sprintf("rounds: negative charge %d for %q", r, tag))
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	e, ok := l.entries[tag]
 	if !ok {
 		e = &Entry{Tag: tag, Kind: kind, Cite: cite}
 		l.entries[tag] = e
 		l.order = append(l.order, tag)
 	} else if e.Kind != kind {
+		l.mu.Unlock()
 		panic(fmt.Sprintf("rounds: tag %q re-registered as %v, was recorded as %v", tag, kind, e.Kind))
 	}
 	e.Rounds += r
 	e.Calls++
+	sink := l.sink
+	l.mu.Unlock()
+	// The sink runs outside the ledger lock so a slow sink cannot serialize
+	// concurrent Add calls and a sink is free to take its own locks.
+	if sink != nil {
+		sink.RoundCost(tag, kind, r)
+	}
+}
+
+// SetSink installs (or, with nil, removes) the sink notified on every Add.
+// The sink sees costs after they are committed to the ledger.
+func (l *Ledger) SetSink(s Sink) {
+	l.mu.Lock()
+	l.sink = s
+	l.mu.Unlock()
+}
+
+// HasSink reports whether a sink is installed; callers use it to skip
+// computing observational statistics nobody will consume.
+func (l *Ledger) HasSink() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sink != nil
+}
+
+// AddTraffic forwards link-traffic counters to the installed sink if it
+// implements TrafficSink. Ledger state is unchanged: traffic is not rounds.
+func (l *Ledger) AddTraffic(tag string, messages, words int64) {
+	l.mu.Lock()
+	sink := l.sink
+	l.mu.Unlock()
+	if ts, ok := sink.(TrafficSink); ok {
+		ts.LinkTraffic(tag, messages, words)
+	}
 }
 
 // Total returns the sum of all recorded rounds.
@@ -158,6 +211,56 @@ func (l *Ledger) Reset() {
 	defer l.mu.Unlock()
 	l.entries = make(map[string]*Entry)
 	l.order = nil
+}
+
+// Stats is the shared round-accounting shape embedded in every solver
+// result (maxflow.Result, mcmf.Result, euler.Stats, lapsolver.Stats), so
+// callers read round costs the same way across the whole algorithm stack.
+type Stats struct {
+	// MeasuredRounds is the number of simulator-executed rounds the call
+	// added to its ledger.
+	MeasuredRounds int64
+	// ChargedRounds is the number of cited black-box rounds the call added
+	// to its ledger.
+	ChargedRounds int64
+	// WallTime is the wall-clock duration of the call.
+	WallTime time.Duration
+	// Spans is the number of trace spans the call recorded (zero when no
+	// tracer was attached).
+	Spans int
+}
+
+// TotalRounds returns MeasuredRounds + ChargedRounds.
+func (s Stats) TotalRounds() int64 { return s.MeasuredRounds + s.ChargedRounds }
+
+// Snapshot captures a ledger's totals at one instant so the delta a call
+// contributed can be computed on return; see Snap.
+type Snapshot struct {
+	l        *Ledger
+	measured int64
+	charged  int64
+	start    time.Time
+}
+
+// Snap starts a Stats measurement against l (which may be nil: the round
+// deltas then stay zero and only WallTime is filled).
+func Snap(l *Ledger) Snapshot {
+	s := Snapshot{l: l, start: time.Now()}
+	if l != nil {
+		s.measured = l.TotalOf(Measured)
+		s.charged = l.TotalOf(Charged)
+	}
+	return s
+}
+
+// Stats returns the ledger and wall-clock deltas since Snap.
+func (s Snapshot) Stats() Stats {
+	st := Stats{WallTime: time.Since(s.start)}
+	if s.l != nil {
+		st.MeasuredRounds = s.l.TotalOf(Measured) - s.measured
+		st.ChargedRounds = s.l.TotalOf(Charged) - s.charged
+	}
+	return st
 }
 
 // Cost formulas for cited subroutines. Constants are the smallest the cited

@@ -1,0 +1,103 @@
+package rounds
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingSink captures every forwarded cost; the traffic variant also
+// captures link-traffic reports.
+type recordingSink struct {
+	costs []struct {
+		tag  string
+		kind Kind
+		r    int64
+	}
+}
+
+func (s *recordingSink) RoundCost(tag string, kind Kind, r int64) {
+	s.costs = append(s.costs, struct {
+		tag  string
+		kind Kind
+		r    int64
+	}{tag, kind, r})
+}
+
+type trafficSink struct {
+	recordingSink
+	messages, words int64
+}
+
+func (s *trafficSink) LinkTraffic(tag string, messages, words int64) {
+	s.messages += messages
+	s.words += words
+}
+
+func TestSinkReceivesEveryAdd(t *testing.T) {
+	l := New()
+	if l.HasSink() {
+		t.Fatal("fresh ledger has a sink")
+	}
+	sink := &recordingSink{}
+	l.SetSink(sink)
+	if !l.HasSink() {
+		t.Fatal("HasSink false after SetSink")
+	}
+	l.Add("a", Measured, 3, "why")
+	l.Add("b", Charged, 5, "cite")
+	l.Add("a", Measured, 1, "why")
+	if len(sink.costs) != 3 {
+		t.Fatalf("%d forwarded costs, want 3", len(sink.costs))
+	}
+	if c := sink.costs[1]; c.tag != "b" || c.kind != Charged || c.r != 5 {
+		t.Fatalf("forwarded cost %+v", c)
+	}
+	// The ledger itself still accumulates normally.
+	if l.Total() != 9 {
+		t.Fatalf("ledger total %d, want 9", l.Total())
+	}
+}
+
+func TestAddTrafficRequiresTrafficSink(t *testing.T) {
+	l := New()
+	l.AddTraffic("x", 1, 2) // no sink: silently dropped
+	plain := &recordingSink{}
+	l.SetSink(plain)
+	l.AddTraffic("x", 1, 2) // sink without LinkTraffic: dropped
+	ts := &trafficSink{}
+	l.SetSink(ts)
+	l.AddTraffic("x", 10, 40)
+	l.AddTraffic("y", 1, 2)
+	if ts.messages != 11 || ts.words != 42 {
+		t.Fatalf("traffic sink got %d msgs %d words, want 11 and 42", ts.messages, ts.words)
+	}
+	if len(plain.costs) != 0 {
+		t.Fatal("plain sink received traffic as costs")
+	}
+}
+
+func TestSnapshotDeltas(t *testing.T) {
+	l := New()
+	l.Add("before", Measured, 100, "excluded from the delta")
+	snap := Snap(l)
+	l.Add("m", Measured, 7, "in window")
+	l.Add("c", Charged, 5, "in window")
+	st := snap.Stats()
+	if st.MeasuredRounds != 7 || st.ChargedRounds != 5 {
+		t.Fatalf("delta %+v, want measured 7 charged 5", st)
+	}
+	if st.TotalRounds() != 12 {
+		t.Fatalf("TotalRounds %d, want 12", st.TotalRounds())
+	}
+	if st.WallTime < 0 || st.WallTime > time.Minute {
+		t.Fatalf("implausible wall time %v", st.WallTime)
+	}
+}
+
+func TestSnapshotNilLedger(t *testing.T) {
+	snap := Snap(nil)
+	st := snap.Stats()
+	if st.MeasuredRounds != 0 || st.ChargedRounds != 0 {
+		t.Fatalf("nil-ledger snapshot deltas %+v, want zero", st)
+	}
+}

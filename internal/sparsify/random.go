@@ -8,6 +8,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
 
 // Randomized sparsification — the paper's closing remark: "replacing the
@@ -32,6 +33,10 @@ type RandomOptions struct {
 	Seed int64
 	// Ledger, if non-nil, receives the round costs.
 	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 // CiteFV22 is the citation string for randomized-sparsifier round charges.
@@ -58,6 +63,9 @@ func RandomizedSparsify(g *graph.Graph, opts RandomOptions) (*Result, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("sparsify: randomized sparsifier requires a connected graph")
 	}
+	opts.Trace.Attach(opts.Ledger)
+	sp := opts.Trace.Start("sparsify-randomized")
+	defer sp.End()
 	if opts.Eps == 0 {
 		opts.Eps = 0.5
 	}

@@ -41,6 +41,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
 
 // Options configures Sparsify.
@@ -61,6 +62,10 @@ type Options struct {
 	MaxLevels int
 	// Ledger, if non-nil, receives the round costs.
 	Ledger *rounds.Ledger
+	// Trace, if non-nil, receives hierarchical span and cost events for
+	// this call (see internal/trace); a nil tracer records nothing and
+	// costs nothing.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults(m int) {
@@ -105,6 +110,9 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 		return nil, ErrEmptyGraph
 	}
 	opts.defaults(g.M())
+	opts.Trace.Attach(opts.Ledger)
+	sp := opts.Trace.Start("sparsify")
+	defer sp.End()
 
 	// Binary weight classes: class i holds edges with weight in [2^i, 2^{i+1}).
 	classes := make(map[int][]int)
@@ -122,7 +130,10 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 	res := &Result{H: h}
 	for _, ci := range classKeys {
 		scale := math.Pow(2, float64(ci))
-		if err := sparsifyClass(g, classes[ci], scale, opts, res); err != nil {
+		csp := opts.Trace.Startf("class-%d", ci)
+		err := sparsifyClass(g, classes[ci], scale, opts, res)
+		csp.End()
+		if err != nil {
 			return nil, fmt.Errorf("sparsify: weight class 2^%d: %w", ci, err)
 		}
 	}
@@ -133,63 +144,81 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 func sparsifyClass(g *graph.Graph, edgeIDs []int, scale float64, opts Options, res *Result) error {
 	cur := edgeIDs
 	for level := 0; len(cur) > 0; level++ {
-		if level >= opts.MaxLevels {
-			// Safety valve: copy the few remaining edges verbatim. A
-			// subgraph copied at original weight only helps the sandwich.
-			for _, id := range cur {
-				e := g.Edge(id)
-				res.H.MustAddEdge(e.U, e.V, e.W)
-			}
-			res.LeftoverEdges += len(cur)
-			return nil
+		lsp := opts.Trace.Startf("level-%d", level)
+		done := sparsifyLevel(g, &cur, level, scale, opts, res)
+		lsp.End()
+		if done.err != nil || done.stop {
+			return done.err
 		}
-		res.Levels++
-
-		// Build the class subgraph of this level (unweighted view).
-		lv := graph.New(g.N())
-		for _, id := range cur {
-			e := g.Edge(id)
-			lv.MustAddEdge(e.U, e.V, 1)
-		}
-		phi := expander.PhiForEps(opts.Eps, lv.M())
-		dec, err := expander.Decompose(lv, phi)
-		if err != nil {
-			return err
-		}
-		if opts.Ledger != nil {
-			opts.Ledger.Add("sparsify-decomp", rounds.Charged,
-				rounds.ExpanderDecompRounds(g.N(), opts.Eps, opts.Gamma), rounds.CiteCS20)
-			// One broadcast round: every node announces its part id and
-			// degree, making the product demand graphs globally known.
-			if _, err := cc.BroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
-				return err
-			}
-		}
-		if frac := dec.CrossingFraction(lv.M()); frac > opts.Eps {
-			return fmt.Errorf("crossing fraction %.3f exceeds eps %.3f at level %d", frac, opts.Eps, level)
-		}
-
-		for _, part := range dec.Parts {
-			if len(part) < 2 {
-				continue
-			}
-			sub, orig, err := lv.Subgraph(part)
-			if err != nil {
-				return err
-			}
-			if sub.M() == 0 {
-				continue
-			}
-			res.Parts++
-			piece := productDemandSparsifier(sub, opts.SmallPartCutoff)
-			for _, e := range piece.Edges() {
-				res.H.MustAddEdge(orig[e.U], orig[e.V], e.W*scale*phiBoost(phi))
-			}
-		}
-
-		cur = dec.Crossing
 	}
 	return nil
+}
+
+type levelOutcome struct {
+	stop bool
+	err  error
+}
+
+// sparsifyLevel runs one decomposition level; split out of sparsifyClass so
+// each level is one trace span with a single entry and exit.
+func sparsifyLevel(g *graph.Graph, curp *[]int, level int, scale float64, opts Options, res *Result) levelOutcome {
+	cur := *curp
+	if level >= opts.MaxLevels {
+		// Safety valve: copy the few remaining edges verbatim. A
+		// subgraph copied at original weight only helps the sandwich.
+		for _, id := range cur {
+			e := g.Edge(id)
+			res.H.MustAddEdge(e.U, e.V, e.W)
+		}
+		res.LeftoverEdges += len(cur)
+		return levelOutcome{stop: true}
+	}
+	res.Levels++
+
+	// Build the class subgraph of this level (unweighted view).
+	lv := graph.New(g.N())
+	for _, id := range cur {
+		e := g.Edge(id)
+		lv.MustAddEdge(e.U, e.V, 1)
+	}
+	phi := expander.PhiForEps(opts.Eps, lv.M())
+	dec, err := expander.Decompose(lv, phi)
+	if err != nil {
+		return levelOutcome{err: err}
+	}
+	if opts.Ledger != nil {
+		opts.Ledger.Add("sparsify-decomp", rounds.Charged,
+			rounds.ExpanderDecompRounds(g.N(), opts.Eps, opts.Gamma), rounds.CiteCS20)
+		// One broadcast round: every node announces its part id and
+		// degree, making the product demand graphs globally known.
+		if _, err := cc.BroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
+			return levelOutcome{err: err}
+		}
+	}
+	if frac := dec.CrossingFraction(lv.M()); frac > opts.Eps {
+		return levelOutcome{err: fmt.Errorf("crossing fraction %.3f exceeds eps %.3f at level %d", frac, opts.Eps, level)}
+	}
+
+	for _, part := range dec.Parts {
+		if len(part) < 2 {
+			continue
+		}
+		sub, orig, err := lv.Subgraph(part)
+		if err != nil {
+			return levelOutcome{err: err}
+		}
+		if sub.M() == 0 {
+			continue
+		}
+		res.Parts++
+		piece := productDemandSparsifier(sub, opts.SmallPartCutoff)
+		for _, e := range piece.Edges() {
+			res.H.MustAddEdge(orig[e.U], orig[e.V], e.W*scale*phiBoost(phi))
+		}
+	}
+
+	*curp = dec.Crossing
+	return levelOutcome{}
 }
 
 // phiBoost is the weight normalization applied to product demand pieces.

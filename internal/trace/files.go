@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// WriteFiles writes the Chrome trace_event file to chromePath and the
+// deterministic JSONL event stream to eventsPath; an empty path skips that
+// export. The JSONL stream is validated against the schema before it
+// touches disk, so a written file is always loadable. Convenience for the
+// cmd-level -trace / -trace-events flags; a nil tracer writes valid empty
+// exports.
+func (t *Tracer) WriteFiles(chromePath, eventsPath string) error {
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if eventsPath != "" {
+		var buf bytes.Buffer
+		if err := t.WriteJSONL(&buf); err != nil {
+			return err
+		}
+		if err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+			return fmt.Errorf("trace: generated JSONL failed validation: %w", err)
+		}
+		if err := os.WriteFile(eventsPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

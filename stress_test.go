@@ -25,7 +25,7 @@ func TestStressEulerianLarge(t *testing.T) {
 		t.Fatal(err)
 	}
 	led := rounds.New()
-	orient, st, err := euler.Orient(g, nil, led)
+	orient, st, err := euler.Orient(g, nil, euler.Options{Ledger: led})
 	if err != nil {
 		t.Fatal(err)
 	}
