@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline check experiments trace-smoke
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver check experiments trace-smoke
 
 all: build
 
@@ -38,6 +38,11 @@ bench-engine:
 bench-baseline:
 	$(GO) test -run xxx -bench 'BenchmarkEngineRun|BenchmarkRoute' -benchmem -benchtime 2s ./internal/cc/ | tee /tmp/bench_engine.txt
 
+# The session-layer benchmarks behind BENCH_solver.json: build-once/solve-many
+# vs rebuild-per-solve through the max-flow IPM and the many-RHS solver.
+bench-solver:
+	$(GO) test -run xxx -bench 'BenchmarkIPM|BenchmarkSolverSession' -benchmem -benchtime 2s ./internal/maxflow/ ./internal/lapsolver/
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -46,4 +51,4 @@ experiments:
 trace-smoke:
 	$(GO) test -count=1 -run TestTraceSmoke ./internal/trace/
 
-check: fmt-check vet build race bench-smoke
+check: fmt-check vet build race bench-smoke trace-smoke

@@ -40,6 +40,7 @@ func run() error {
 		sink   = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
 		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
 		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
+		nRHS   = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
 	)
 	flag.Parse()
 
@@ -61,22 +62,28 @@ func run() error {
 		return fmt.Errorf("bad poles %d, %d for n=%d", *source, t, g.N())
 	}
 
-	b := linalg.NewVec(g.N())
-	b[*source] = 1
-	b[t] = -1
 	var tr *trace.Tracer
 	if *trOut != "" || *trEv != "" {
 		tr = trace.New()
 	}
-	res, err := core.SolveLaplacianTraced(g, b, *eps, tr)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("graph: n=%d m=%d; eps=%g\n", g.N(), g.M(), *eps)
-	fmt.Printf("x[%d] - x[%d] = %.9f (effective resistance between the poles)\n",
-		*source, t, res.X[*source]-res.X[t])
-	fmt.Printf("sparsifier: %d edges; chebyshev iterations: %d\n", res.SparsifierEdges, res.Iterations)
-	fmt.Println(res.Rounds.Breakdown)
+	if *nRHS > 1 {
+		if err := runSession(g, *source, t, *eps, *nRHS, tr); err != nil {
+			return err
+		}
+	} else {
+		b := linalg.NewVec(g.N())
+		b[*source] = 1
+		b[t] = -1
+		res, err := core.SolveLaplacianTraced(g, b, *eps, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("x[%d] - x[%d] = %.9f (effective resistance between the poles)\n",
+			*source, t, res.X[*source]-res.X[t])
+		fmt.Printf("sparsifier: %d edges; chebyshev iterations: %d\n", res.SparsifierEdges, res.Iterations)
+		fmt.Println(res.Rounds.Breakdown)
+	}
 	if tr.Enabled() {
 		fmt.Println(tr.Summary())
 		if err := tr.WriteFiles(*trOut, *trEv); err != nil {
@@ -88,6 +95,42 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// runSession pushes k pole-pair right-hand sides (source, source+i mod n)
+// through one LaplacianSession: the sparsifier is preprocessed once and the
+// per-solve round delta is reported for each right-hand side.
+func runSession(g *graph.Graph, source, sink int, eps float64, k int, tr *trace.Tracer) (err error) {
+	sess, err := core.NewLaplacianSessionTraced(g, tr)
+	if err != nil {
+		return err
+	}
+	pre := sess.Rounds()
+	fmt.Printf("session: preprocessed in %d rounds (measured %d, charged %d)\n",
+		pre.Total, pre.Measured, pre.Charged)
+	n := g.N()
+	for i := 0; i < k; i++ {
+		t := sink
+		if i > 0 {
+			t = (source + i) % n
+			if t == source {
+				t = (t + 1) % n
+			}
+		}
+		b := linalg.NewVec(n)
+		b[source] = 1
+		b[t] = -1
+		res, err := sess.Solve(b, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rhs %2d: x[%d] - x[%d] = %.9f  (%d cheby iterations, +%d rounds)\n",
+			i, source, t, res.X[source]-res.X[t], res.Iterations, res.Rounds.Total)
+	}
+	tot := sess.Rounds()
+	fmt.Printf("session: %d right-hand sides in %d total rounds (measured %d, charged %d)\n",
+		k, tot.Total, tot.Measured, tot.Charged)
 	return nil
 }
 

@@ -1,8 +1,48 @@
 package cc
 
 import (
+	"sync"
+
 	"lapcc/internal/rounds"
 )
+
+// batchScratch holds the reusable working state of one RouteBatched
+// invocation: the per-node admissibility counters and the current batch's
+// packet arena. Instances are recycled through batchPool so steady-state
+// RouteBatched calls allocate only their output (matching Route, whose own
+// scratch is pooled in routing.go).
+type batchScratch struct {
+	srcCount, dstCount []int
+	batch              []Packet
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (s *batchScratch) resize(n, m int) {
+	if cap(s.srcCount) < n {
+		s.srcCount = make([]int, n)
+		s.dstCount = make([]int, n)
+	}
+	s.srcCount = s.srcCount[:n]
+	s.dstCount = s.dstCount[:n]
+	for i := 0; i < n; i++ {
+		s.srcCount[i] = 0
+		s.dstCount[i] = 0
+	}
+	if cap(s.batch) < m {
+		s.batch = make([]Packet, 0, m)
+	}
+	s.batch = s.batch[:0]
+}
+
+// release zeroes the batch arena's payload pointers so pooled scratch does
+// not pin caller data, then returns the scratch to the pool.
+func (s *batchScratch) release() {
+	for i := range s.batch[:cap(s.batch)] {
+		s.batch[:cap(s.batch)][i] = Packet{}
+	}
+	batchPool.Put(s)
+}
 
 // RouteBatched delivers an arbitrary packet set by splitting it into
 // admissible batches (every node source and destination of at most n packets
@@ -13,9 +53,26 @@ import (
 func RouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Packet, RouteResult, error) {
 	out := make([][]Packet, n)
 	var agg RouteResult
-	srcCount := make([]int, n)
-	dstCount := make([]int, n)
-	var batch []Packet
+	s := batchPool.Get().(*batchScratch)
+	defer s.release()
+	s.resize(n, len(packets))
+	srcCount := s.srcCount
+	dstCount := s.dstCount
+	batch := s.batch
+
+	// Final per-destination totals are known upfront; sizing the output
+	// exactly once replaces the per-flush append-growth reallocations.
+	for _, p := range packets {
+		if p.Dst >= 0 && p.Dst < n {
+			dstCount[p.Dst]++
+		}
+	}
+	for d := 0; d < n; d++ {
+		if dstCount[d] > 0 {
+			out[d] = make([]Packet, 0, dstCount[d])
+		}
+		dstCount[d] = 0
+	}
 
 	flush := func() error {
 		if len(batch) == 0 {

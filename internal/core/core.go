@@ -85,6 +85,70 @@ func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.T
 	}, nil
 }
 
+// LaplacianSession is SolveLaplacian in build-once/solve-many form: the
+// Theorem 1.1 preprocessing (sparsifier chain, solver scratch) runs once at
+// construction, after which any number of right-hand sides — and, via
+// Reweight, any number of weight settings on the fixed topology — are
+// solved against the same structure. Solves are warm-started from previous
+// potentials, which changes wall clock only: iteration counts, convergence
+// certificates, and charged rounds are exactly those of a fresh solver.
+type LaplacianSession struct {
+	solver *lapsolver.Solver
+	led    *rounds.Ledger
+}
+
+// NewLaplacianSession preprocesses g for repeated Laplacian solves. g must
+// be connected with positive edge weights; the session takes a private copy.
+func NewLaplacianSession(g *graph.Graph) (*LaplacianSession, error) {
+	return NewLaplacianSessionTraced(g, nil)
+}
+
+// NewLaplacianSessionTraced is NewLaplacianSession recording spans into tr
+// (nil for no tracing).
+func NewLaplacianSessionTraced(g *graph.Graph, tr *trace.Tracer) (*LaplacianSession, error) {
+	led := rounds.New()
+	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr, WarmStart: true})
+	if err != nil {
+		return nil, err
+	}
+	return &LaplacianSession{solver: s, led: led}, nil
+}
+
+// Solve solves L_G x = b to relative precision eps in the L_G norm. The
+// result's Rounds carries only this call's delta (its Breakdown is empty);
+// the session's cumulative ledger, including the one-time preprocessing
+// cost, is available from Rounds.
+func (s *LaplacianSession) Solve(b linalg.Vec, eps float64) (*LaplacianResult, error) {
+	snap := rounds.Snap(s.led)
+	x, st, err := s.solver.Solve(b, eps)
+	if err != nil {
+		return nil, err
+	}
+	d := snap.Stats()
+	return &LaplacianResult{
+		X:               x,
+		Iterations:      st.Iterations,
+		SparsifierEdges: s.solver.Sparsifier().M(),
+		Rounds: RoundReport{
+			Total:    d.TotalRounds(),
+			Measured: d.MeasuredRounds,
+			Charged:  d.ChargedRounds,
+		},
+	}, nil
+}
+
+// Reweight swaps the per-edge weights (indexed by edge id) on the fixed
+// topology. The sparsifier chain is reused outright while the weights stay
+// within its α-drift budget and is rebuilt — with the rebuild's rounds
+// charged to the session ledger — only when they leave it.
+func (s *LaplacianSession) Reweight(w []float64) error {
+	return s.solver.Reweight(w)
+}
+
+// Rounds returns the session's cumulative round report: preprocessing plus
+// every Solve and Reweight so far.
+func (s *LaplacianSession) Rounds() RoundReport { return report(s.led) }
+
 // SparsifyResult is the output of Sparsify.
 type SparsifyResult struct {
 	// H is the sparsifier, known to every clique node.

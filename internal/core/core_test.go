@@ -35,6 +35,79 @@ func TestSolveLaplacianFacade(t *testing.T) {
 	}
 }
 
+func TestLaplacianSessionFacade(t *testing.T) {
+	g, err := graph.RandomRegular(48, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewLaplacianSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := sess.Rounds()
+	if pre.Total == 0 {
+		t.Fatal("preprocessing reported zero rounds")
+	}
+
+	check := func(res *LaplacianResult, b linalg.Vec) {
+		t.Helper()
+		l := linalg.NewLaplacian(g)
+		lx := linalg.NewVec(48)
+		l.Apply(lx, res.X)
+		if r := lx.Sub(b).Norm2(); r > 1e-6 {
+			t.Fatalf("residual %v", r)
+		}
+		if res.Rounds.Total != res.Rounds.Measured+res.Rounds.Charged {
+			t.Fatalf("per-call report inconsistent: %+v", res.Rounds)
+		}
+		if res.Rounds.Total == 0 {
+			t.Fatal("per-call report empty")
+		}
+	}
+
+	var deltas int64
+	for i := 0; i < 3; i++ {
+		b := linalg.NewVec(48)
+		b[i], b[47-i] = 1, -1
+		res, err := sess.Solve(b, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(res, b)
+		deltas += res.Rounds.Total
+	}
+	if total := sess.Rounds().Total; total != pre.Total+deltas {
+		t.Fatalf("cumulative %d != preprocessing %d + per-call deltas %d", total, pre.Total, deltas)
+	}
+
+	// Reweight on the fixed topology, then solve the reweighted system.
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 2.5
+	}
+	if err := sess.Reweight(w); err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(48)
+	b[0], b[47] = 1, -1
+	res, err := sess.Solve(b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := g.Clone()
+	for i := range w {
+		if err := gw.SetWeight(i, w[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := linalg.NewLaplacian(gw)
+	lx := linalg.NewVec(48)
+	l.Apply(lx, res.X)
+	if r := lx.Sub(b).Norm2(); r > 1e-6 {
+		t.Fatalf("reweighted residual %v", r)
+	}
+}
+
 func TestSparsifyFacade(t *testing.T) {
 	g := graph.Complete(64)
 	res, err := Sparsify(g)

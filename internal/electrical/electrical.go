@@ -18,10 +18,12 @@ import (
 )
 
 // Network is a resistive network: an undirected graph whose edge weights
-// are conductances (1/resistance).
+// are conductances (1/resistance). It is backed by a Session (build once,
+// solve and reweight many times); Session() exposes it for callers that
+// drive the reweight-per-iteration loop themselves.
 type Network struct {
 	g      *graph.Graph
-	solver *lapsolver.Solver
+	sess   *Session
 	ledger *rounds.Ledger
 }
 
@@ -42,7 +44,8 @@ type Options struct {
 }
 
 // NewNetwork prepares a network for repeated electrical queries; the
-// sparsifier is built once and amortized.
+// sparsifier is built once and amortized across solves and, via Reweight,
+// across conductance changes on the fixed topology.
 func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 	if opts.Ledger != nil && opts.Solver.Ledger == nil {
 		opts.Solver.Ledger = opts.Ledger
@@ -50,21 +53,34 @@ func NewNetwork(g *graph.Graph, opts Options) (*Network, error) {
 	if opts.Trace != nil && opts.Solver.Trace == nil {
 		opts.Solver.Trace = opts.Trace
 	}
-	s, err := lapsolver.NewSolver(g, opts.Solver)
+	sess, err := NewSession(g.Clone(), SessionOptions{Full: true, Solver: opts.Solver})
 	if err != nil {
 		return nil, fmt.Errorf("electrical: %w", err)
 	}
-	return &Network{g: g, solver: s, ledger: opts.Ledger}, nil
+	// The session owns its working copy; Currents/Energy read it so they
+	// always see the conductances of the latest Reweight.
+	return &Network{g: sess.Graph(), sess: sess, ledger: opts.Ledger}, nil
 }
 
-// Graph returns the underlying graph.
+// Graph returns the network's working graph, carrying the current
+// conductances. The caller must not mutate it; use Reweight.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Session returns the underlying build-once/solve-many session.
+func (nw *Network) Session() *Session { return nw.sess }
+
+// Reweight swaps the per-edge conductances in place, reusing the session's
+// structure (sparsifier chain, scratch) per the α-drift policy; see
+// Session.Reweight.
+func (nw *Network) Reweight(w []float64) error {
+	return nw.sess.Reweight(w)
+}
 
 // Potentials returns node potentials phi for the given current-demand
 // vector b (b[v] = net current injected at v; must sum to zero), to
 // relative precision eps in the L_G norm.
 func (nw *Network) Potentials(b linalg.Vec, eps float64) (linalg.Vec, error) {
-	phi, _, err := nw.solver.Solve(b, eps)
+	phi, err := nw.sess.Potentials(b, eps, "network")
 	if err != nil {
 		return nil, fmt.Errorf("electrical: potentials: %w", err)
 	}
@@ -107,7 +123,7 @@ func (nw *Network) EffectiveResistance(u, v int, eps float64) (float64, error) {
 // Energy returns the dissipated energy of the potential vector phi:
 // sum_e conductance * (potential drop)^2 = phi^T L phi.
 func (nw *Network) Energy(phi linalg.Vec) float64 {
-	return nw.solver.Laplacian().Quad(phi)
+	return nw.sess.Laplacian().Quad(phi)
 }
 
 // MaxCurrentEdge returns the index and magnitude of the most loaded edge —

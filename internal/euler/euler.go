@@ -118,21 +118,6 @@ func Orient(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, error
 	return orient, stats, err
 }
 
-// OrientLedger is the pre-Options form of Orient.
-//
-// Deprecated: use Orient with Options{Ledger: led}.
-func OrientLedger(g *graph.Graph, dirCost []int64, led *rounds.Ledger) ([]bool, Stats, error) {
-	return Orient(g, dirCost, Options{Ledger: led})
-}
-
-// OrientWith is the pre-Options form of Orient with an explicit mode.
-//
-// Deprecated: use Orient and set Options.Ledger alongside the mode.
-func OrientWith(g *graph.Graph, dirCost []int64, led *rounds.Ledger, opts Options) ([]bool, Stats, error) {
-	opts.Ledger = led
-	return Orient(g, dirCost, opts)
-}
-
 func orientImpl(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, error) {
 	if !g.IsEulerian() {
 		return nil, Stats{}, ErrNotEulerian

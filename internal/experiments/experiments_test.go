@@ -17,8 +17,8 @@ func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 11 {
-		t.Fatalf("%d experiments, want 11", len(seen))
+	if len(seen) != 12 {
+		t.Fatalf("%d experiments, want 12", len(seen))
 	}
 }
 

@@ -101,6 +101,50 @@ func (g *Graph) AddEdge(u, v int, w float64) (int, error) {
 	return id, nil
 }
 
+// SetWeight replaces the weight of edge i in place, keeping the topology
+// (endpoints, edge index, adjacency) untouched. This is the primitive behind
+// the build-once/solve-many session layer: reweighting a graph whose
+// structure is fixed must not reallocate anything. The weight is validated
+// exactly like AddEdge's.
+func (g *Graph) SetWeight(i int, w float64) error {
+	if i < 0 || i >= len(g.edges) {
+		return fmt.Errorf("graph: edge index %d out of range (m=%d)", i, len(g.edges))
+	}
+	if !(w > 0) || w != w || w > 1e300 {
+		return fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	g.edges[i].W = w
+	return nil
+}
+
+// SetWeights replaces every edge weight in one pass — the bulk form of
+// SetWeight for session reweights, where the per-edge call overhead is
+// measurable against the O(m) work itself. w is indexed by edge id and
+// validated exactly like AddEdge's weights; on error the graph is left
+// partially updated, matching a SetWeight loop that stops at the bad edge.
+func (g *Graph) SetWeights(w []float64) error {
+	if len(w) != len(g.edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(w), len(g.edges))
+	}
+	for i, x := range w {
+		if !(x > 0) || x != x || x > 1e300 {
+			return fmt.Errorf("edge %d: %w: %v", i, ErrBadWeight, x)
+		}
+		g.edges[i].W = x
+	}
+	return nil
+}
+
+// Weights returns a fresh slice with the current edge weights, indexed by
+// edge id — the reference vector session layers diff against on Reweight.
+func (g *Graph) Weights() []float64 {
+	ws := make([]float64, len(g.edges))
+	for i, e := range g.edges {
+		ws[i] = e.W
+	}
+	return ws
+}
+
 // MustAddEdge is AddEdge for construction code with statically valid inputs.
 // It panics on error and is intended for tests and generators only.
 func (g *Graph) MustAddEdge(u, v int, w float64) int {

@@ -57,6 +57,18 @@ type Options struct {
 	// globally-known sparsifier (default 1e-13). These solves cost zero
 	// rounds in the model.
 	InternalTol float64
+	// WarmStart keeps solver state across Solve calls: the previously
+	// accepted kappa seeds the next attempt schedule (skipping re-rejected
+	// doubling attempts) and the previous solve's potentials seed the
+	// Chebyshev iteration (ChebyOptions.X0, scaled by the projection of the
+	// new right-hand side onto the old one). Results still pass the same
+	// residual certificate; only wall clock changes. Intended for session
+	// use (many solves / reweights against one topology).
+	WarmStart bool
+	// Chain tunes the sparsifier session reuse policy (α-drift bound,
+	// envelope certificate) used by Reweight; its Sparsify field is ignored
+	// in favor of Options.Sparsify. Zero value = defaults.
+	Chain sparsify.ChainOptions
 	// Ledger, if non-nil, receives round costs.
 	Ledger *rounds.Ledger
 	// Trace, if non-nil, receives hierarchical span and cost events for
@@ -84,16 +96,25 @@ func (o *Options) defaults() {
 }
 
 // Solver solves systems L_G x = b to relative precision eps in the L_G
-// norm. One Solver instance amortizes its sparsifier across many solves
-// (the flow IPMs re-solve on re-weighted graphs, so they rebuild; see
-// NewSolver's cost notes).
+// norm. One Solver instance amortizes its sparsifier across many solves,
+// and — through Reweight — across many weightings of one topology: the
+// flow IPMs build one Solver per support graph and reweight it every
+// iteration instead of rebuilding (see sparsify.Chain for the reuse
+// policy). The solver works on a private copy of the input graph, so
+// Reweight never mutates the caller's graph.
 type Solver struct {
-	g      *graph.Graph
+	g      *graph.Graph // private working copy (reweighted in place)
 	lg     *linalg.Laplacian
 	h      *graph.Graph
 	lh     *linalg.Laplacian
 	hSolve func(linalg.Vec) (linalg.Vec, error)
 	opts   Options
+	chain  *sparsify.Chain // nil on the randomized path
+
+	// Warm-start state (only written when opts.WarmStart is set).
+	warmX     linalg.Vec // potentials of the last accepted solve
+	warmB     linalg.Vec // right-hand side of the last accepted solve
+	warmKappa float64    // kappa accepted by the last solve (0 = none)
 }
 
 // Stats reports one Solve call.
@@ -111,7 +132,9 @@ type Stats struct {
 
 // NewSolver builds the sparsifier for g and prepares internal solvers.
 // Construction costs the Theorem 3.3 rounds (charged/measured through the
-// ledger inside sparsify).
+// ledger inside sparsify). The solver clones g, so later Reweight calls
+// leave the caller's graph untouched; the clone preserves edge order, so
+// results are bit-identical to building on g directly.
 func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 	opts.defaults()
 	if !g.IsConnected() {
@@ -120,33 +143,99 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 	opts.Trace.Attach(opts.Ledger)
 	sp := opts.Trace.Start("lapsolve-build")
 	defer sp.End()
-	var res *sparsify.Result
-	var err error
+	gw := g.Clone()
+	s := &Solver{g: gw, lg: linalg.NewLaplacian(gw), opts: opts}
 	if opts.Randomized {
-		res, err = sparsify.RandomizedSparsify(g, sparsify.RandomOptions{
+		res, err := sparsify.RandomizedSparsify(gw, sparsify.RandomOptions{
 			Seed:   opts.RandomSeed,
 			Ledger: opts.Ledger,
 			Trace:  opts.Trace,
 		})
-	} else {
-		res, err = sparsify.Sparsify(g, opts.Sparsify)
+		if err != nil {
+			return nil, fmt.Errorf("lapsolver: %w", err)
+		}
+		s.setSparsifier(res.H)
+		return s, nil
 	}
+	chainOpts := opts.Chain
+	chainOpts.Sparsify = opts.Sparsify
+	chain, err := sparsify.NewChain(gw, chainOpts)
 	if err != nil {
 		return nil, fmt.Errorf("lapsolver: %w", err)
 	}
-	lh := linalg.NewLaplacian(res.H)
-	return &Solver{
-		g:      g,
-		lg:     linalg.NewLaplacian(g),
-		h:      res.H,
-		lh:     lh,
-		hSolve: linalg.LaplacianCGSolver(lh, opts.InternalTol),
-		opts:   opts,
-	}, nil
+	s.chain = chain
+	s.setSparsifier(chain.H())
+	return s, nil
+}
+
+// setSparsifier (re)wires the preconditioner side of the solver to h.
+func (s *Solver) setSparsifier(h *graph.Graph) {
+	s.h = h
+	s.lh = linalg.NewLaplacian(h)
+	s.hSolve = linalg.LaplacianCGSolver(s.lh, s.opts.InternalTol)
+}
+
+// Reweight points the solver at new edge weights for its (fixed) topology:
+// w is indexed by edge id of the graph NewSolver was given. The sparsifier
+// chain decides between exact reuse, drift-certified reuse, and a full
+// rebuild (sparsify.Chain); the ledger sees the same charged rounds a fresh
+// build with the recorded level structure would add, so reuse changes only
+// wall clock and allocations.
+func (s *Solver) Reweight(w []float64) error {
+	if len(w) != s.g.M() {
+		return fmt.Errorf("lapsolver: reweight with %d weights for %d edges", len(w), s.g.M())
+	}
+	if s.chain != nil {
+		reused, err := s.chain.Reweight(w)
+		if err != nil {
+			return fmt.Errorf("lapsolver: %w", err)
+		}
+		s.lg.Refresh()
+		if !reused {
+			// Fresh structure: rewire the preconditioner and drop the warm
+			// kappa (it calibrated the old sparsifier); the warm potentials
+			// stay — they approximate the solution, not the structure.
+			s.setSparsifier(s.chain.H())
+			s.warmKappa = 0
+		}
+		return nil
+	}
+	// Randomized path: no structural session; reweight in place and rebuild
+	// with the same seed (reproducibility contract unchanged).
+	for i := range w {
+		if err := s.g.SetWeight(i, w[i]); err != nil {
+			return fmt.Errorf("lapsolver: reweight: %w", err)
+		}
+	}
+	s.lg.Refresh()
+	res, err := sparsify.RandomizedSparsify(s.g, sparsify.RandomOptions{
+		Seed:   s.opts.RandomSeed,
+		Ledger: s.opts.Ledger,
+		Trace:  s.opts.Trace,
+	})
+	if err != nil {
+		return fmt.Errorf("lapsolver: %w", err)
+	}
+	s.setSparsifier(res.H)
+	s.warmKappa = 0
+	return nil
+}
+
+// ChainStats returns the sparsifier session's reuse counters (zero value on
+// the randomized path, which has no structural session).
+func (s *Solver) ChainStats() sparsify.ChainStats {
+	if s.chain == nil {
+		return sparsify.ChainStats{}
+	}
+	return s.chain.Stats()
 }
 
 // Sparsifier returns the sparsifier graph H (globally known to all nodes).
 func (s *Solver) Sparsifier() *graph.Graph { return s.h }
+
+// Graph returns the solver's working graph (its private copy, carrying the
+// current weights). The caller must not mutate it; use Reweight.
+func (s *Solver) Graph() *graph.Graph { return s.g }
 
 // Laplacian returns the input graph's Laplacian operator.
 func (s *Solver) Laplacian() *linalg.Laplacian { return s.lg }
@@ -189,6 +278,27 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 	}
 
 	kappa := s.opts.KappaHint
+	var x0 linalg.Vec
+	if s.opts.WarmStart {
+		if s.warmKappa > 0 {
+			// Start at the previously accepted kappa: skips the doubling
+			// attempts the last solve already paid for.
+			kappa = s.warmKappa
+		}
+		if s.warmX != nil && s.warmB != nil {
+			// Seed Chebyshev with the previous potentials, scaled by the
+			// projection of the new rhs onto the old one (IPM right-hand
+			// sides keep their direction and shrink in magnitude).
+			den := s.warmB.Dot(s.warmB)
+			if den > 0 {
+				c := rhs.Dot(s.warmB) / den
+				if !math.IsNaN(c) && !math.IsInf(c, 0) {
+					x0 = s.warmX.Clone()
+					x0.Scale(c)
+				}
+			}
+		}
+	}
 	for {
 		stats.Attempts++
 		asp := s.opts.Trace.Startf("attempt-%d", stats.Attempts)
@@ -211,16 +321,27 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 		if chebyEps > 0.5 {
 			chebyEps = 0.5
 		}
-		x, res, err := linalg.PreconCheby(s.lg, bSolve, rhs, linalg.ChebyOptions{
+		chebyOpts := linalg.ChebyOptions{
 			Kappa: kappa,
 			Eps:   chebyEps,
+			X0:    x0,
 			OnIteration: func() {
 				if s.opts.Ledger != nil {
 					// One matvec with L_G per iteration: one round.
 					s.opts.Ledger.Add("lapsolve-cheby-iter", rounds.Measured, 1, "matvec with L_G, Cor 2.3")
 				}
 			},
-		})
+		}
+		x, res, err := linalg.PreconCheby(s.lg, bSolve, rhs, chebyOpts)
+		if err != nil && x0 != nil {
+			// A near-exact seed can push the shifted right-hand side b - A x0
+			// to the inner CG's floating-point floor. Warm starting is an
+			// optimization, never a correctness dependency: retry this
+			// attempt cold.
+			x0 = nil
+			chebyOpts.X0 = nil
+			x, res, err = linalg.PreconCheby(s.lg, bSolve, rhs, chebyOpts)
+		}
 		if err != nil {
 			return nil, stats, fmt.Errorf("lapsolver: %w", err)
 		}
@@ -248,9 +369,17 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 					s.opts.MaxKappa, rNorm/bNorm, target)
 			}
 			stats.KappaUsed = kappa
+			if s.opts.WarmStart {
+				s.warmKappa = kappa
+				s.warmX = x.Clone()
+				s.warmB = rhs.Clone()
+			}
 			return x, stats, nil
 		}
 		kappa *= 4
+		// A rejected warm start may itself be the problem (stale
+		// potentials); continue the escalation cold.
+		x0 = nil
 	}
 }
 

@@ -23,6 +23,33 @@ type CGOptions struct {
 	// vector — required when A is a connected graph's Laplacian so that CG
 	// computes the pseudoinverse action.
 	ProjectMean bool
+	// X0, if non-nil, warm-starts the iteration from the given guess
+	// instead of zero (the session layer seeds it with the previous solve's
+	// potentials). X0 is read, never modified. Convergence is still judged
+	// by the true relative residual ||b - Ax|| / ||b||, so a warm start can
+	// only reduce the iteration count, never the achieved accuracy.
+	X0 Vec
+	// Scratch, if non-nil, provides reusable internal work vectors, removing
+	// the per-call scratch allocations. The solution vector is still
+	// allocated fresh — it is handed to the caller. Intended for session
+	// layers issuing many solves of one dimension; the arithmetic is
+	// unchanged, so results are bit-identical with or without it.
+	Scratch *CGScratch
+}
+
+// CGScratch holds SolveCG's internal work vectors across calls. The zero
+// value is ready to use; vectors are (re)allocated on first use or on a
+// dimension change. A CGScratch must not be shared by concurrent solves.
+type CGScratch struct {
+	rhs, r, z, p, ap Vec
+}
+
+// take returns *v resized to n, allocating only when the dimension changed.
+func (s *CGScratch) take(v *Vec, n int) Vec {
+	if len(*v) != n {
+		*v = NewVec(n)
+	}
+	return *v
 }
 
 // CGResult reports how a CG solve went.
@@ -49,7 +76,13 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 		maxIter = 20*n + 200
 	}
 
-	rhs := b.Clone()
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = &CGScratch{}
+	}
+
+	rhs := scratch.take(&scratch.rhs, n)
+	copy(rhs, b)
 	if opts.ProjectMean {
 		rhs.RemoveMean()
 	}
@@ -57,6 +90,15 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 	x := NewVec(n)
 	if bnorm == 0 {
 		return x, CGResult{}, nil
+	}
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, CGResult{}, fmt.Errorf("linalg: warm start length %d for operator dimension %d", len(opts.X0), n)
+		}
+		copy(x, opts.X0)
+		if opts.ProjectMean {
+			x.RemoveMean()
+		}
 	}
 
 	applyPrecond := func(dst, r Vec) {
@@ -69,14 +111,29 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 		}
 	}
 
-	r := rhs.Clone()
-	z := NewVec(n)
+	r := scratch.take(&scratch.r, n)
+	copy(r, rhs)
+	z := scratch.take(&scratch.z, n)
+	z.Zero()
+	if opts.X0 != nil {
+		// r = b - A x0; from here the iteration is the standard one.
+		a.Apply(z, x)
+		r.AXPY(-1, z)
+		if opts.ProjectMean {
+			r.RemoveMean()
+		}
+		if res := r.Norm2() / bnorm; res <= tol {
+			return x, CGResult{Iterations: 0, Residual: res}, nil
+		}
+		z.Zero()
+	}
 	applyPrecond(z, r)
 	if opts.ProjectMean {
 		z.RemoveMean()
 	}
-	p := z.Clone()
-	ap := NewVec(n)
+	p := scratch.take(&scratch.p, n)
+	copy(p, z)
+	ap := scratch.take(&scratch.ap, n)
 	rz := r.Dot(z)
 
 	var res CGResult

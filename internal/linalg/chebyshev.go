@@ -29,6 +29,13 @@ type ChebyOptions struct {
 	// OnIteration, if non-nil, is invoked once per iteration — the hook the
 	// congested-clique driver uses to charge per-iteration round costs.
 	OnIteration func()
+	// X0, if non-nil, warm-starts the iteration from the given guess instead
+	// of zero: the session layer seeds it with the previous solve's
+	// potentials, so the polynomial only has to contract the (small)
+	// remaining error. X0 is read, never modified. The iteration count is
+	// unchanged — warm starting improves the achieved residual, not the
+	// worst-case bound — so round accounting is identical either way.
+	X0 Vec
 }
 
 // ChebyResult reports a PreconCheby run.
@@ -66,6 +73,17 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 	x := NewVec(n)
 	r := b.Clone()
 	av := NewVec(n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, ChebyResult{}, fmt.Errorf("linalg: warm start length %d for operator dimension %d", len(opts.X0), n)
+		}
+		// Shifted problem: iterate on A y = b - A x0 and accumulate into
+		// x = x0 + y. Both branches below only ever touch x and r, so
+		// seeding them here is the entire warm start.
+		copy(x, opts.X0)
+		a.Apply(av, x)
+		r.AXPY(-1, av)
+	}
 
 	if delta < 1e-14 {
 		// kappa ~ 1: B is (a scalar multiple of) A; Richardson steps suffice.

@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"testing"
+)
+
+// Warm starting PreconCheby solves the shifted problem from X0: the
+// iteration count is the same fixed kappa/eps bound as a cold start, and a
+// good seed only improves the final error.
+func TestPreconChebyWarmStartIterationBound(t *testing.T) {
+	lg, bSolve, kappa := chebySetup(t, 0.5)
+	b := meanFreeRandomVec(lg.Dim(), 18)
+	want, err := LaplacianPseudoSolve(lg.Dense(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-8
+
+	// Seed from a cruder solve of the same system — the shape the solver's
+	// warm start produces (previous potentials of a nearby system).
+	seed, _, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldRes, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmRes, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: eps, X0: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmRes.Iterations > coldRes.Iterations {
+		t.Fatalf("warm start took %d iterations, cold bound is %d", warmRes.Iterations, coldRes.Iterations)
+	}
+	coldErr := lg.Norm(cold.Sub(want)) / lg.Norm(want)
+	warmErr := lg.Norm(warm.Sub(want)) / lg.Norm(want)
+	if warmErr > eps {
+		t.Fatalf("warm-started error %v > eps %v", warmErr, eps)
+	}
+	// The warm error bound is relative to the shifted system, so it lands in
+	// the same eps ballpark as cold — just from a head start.
+	if warmErr > 10*coldErr && warmErr > eps/10 {
+		t.Fatalf("warm start much worse than cold: %v vs %v", warmErr, coldErr)
+	}
+}
+
+// A zero X0 is the cold start: the result must be identical.
+func TestPreconChebyZeroWarmStartMatchesCold(t *testing.T) {
+	lg, bSolve, kappa := chebySetup(t, 0.5)
+	b := meanFreeRandomVec(lg.Dim(), 32)
+	const eps = 1e-6
+	cold, _, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: eps, X0: NewVec(lg.Dim())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("x[%d]: zero warm start %v != cold %v", i, warm[i], cold[i])
+		}
+	}
+}
+
+func TestPreconChebyWarmStartBadLength(t *testing.T) {
+	lg, bSolve, kappa := chebySetup(t, 0.5)
+	b := meanFreeRandomVec(lg.Dim(), 33)
+	if _, _, err := PreconCheby(lg, bSolve, b, ChebyOptions{Kappa: kappa, Eps: 1e-4, X0: NewVec(3)}); err == nil {
+		t.Fatal("bad warm-start length accepted")
+	}
+}
+
+// CG with the exact solution as X0 converges immediately; with any X0 it
+// still meets the residual tolerance.
+func TestCGWarmStart(t *testing.T) {
+	lg, _, _ := chebySetup(t, 0.25)
+	b := meanFreeRandomVec(lg.Dim(), 34)
+	const tol = 1e-10
+
+	cold, coldRes, err := SolveCG(lg, b, CGOptions{Tol: tol, ProjectMean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmRes, err := SolveCG(lg, b, CGOptions{Tol: tol, ProjectMean: true, X0: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Iterations != 0 {
+		t.Fatalf("warm start from the solution took %d iterations", warmRes.Iterations)
+	}
+	diff := warm.Sub(cold)
+	if diff.Norm2() > 1e-12*cold.Norm2() {
+		t.Fatalf("x drifted by %v on a converged warm start", diff.Norm2())
+	}
+	if warmRes.Iterations > coldRes.Iterations {
+		t.Fatalf("warm iterations %d > cold %d", warmRes.Iterations, coldRes.Iterations)
+	}
+}

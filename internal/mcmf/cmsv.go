@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"lapcc/internal/electrical"
 	"lapcc/internal/flowround"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
@@ -25,6 +26,12 @@ type Options struct {
 	// SolveEps is the per-iteration Laplacian solve precision
 	// (default 1e-10).
 	SolveEps float64
+	// FreshBuild restores the pre-session behavior: rebuild the support
+	// graph and Laplacian from scratch on every solve instead of
+	// reweighting the build-once session. Kept as the benchmark baseline
+	// and the differential-test oracle; charged rounds are identical
+	// either way.
+	FreshBuild bool
 	// DisableIPM skips Progress entirely (ablation: Repairing alone from
 	// the rounded half-integral start).
 	DisableIPM bool
@@ -136,6 +143,14 @@ type cmsvState struct {
 
 	alphaRef float64 // measured sparsifier alpha for charged solve rounds
 	chargeOK bool
+
+	// sess is the build-once/reweight-per-solve electrical session over the
+	// v0-preconditioned bipartite support. The topology is fixed for the
+	// whole IPM: the v0 star covers exactly the P vertices with a(v) > 0,
+	// and a(v) sums nu weights, which never decrease — so membership at the
+	// first solve is membership forever. Nil under FreshBuild.
+	sess  *electrical.Session
+	wFull []float64 // scratch: bipartite weights followed by v0 weights
 }
 
 func newCMSVState(l *lifted, opts Options) *cmsvState {
@@ -193,11 +208,7 @@ func (st *cmsvState) supportGraph(w []float64, precon bool) *graph.Graph {
 	if precon {
 		v0 := st.l.nP + st.l.nQ
 		scale := math.Pow(float64(st.l.nQ)+2, 1+2*st.eta)
-		a := make([]float64, st.l.nP)
-		for i := range st.f {
-			u, _ := st.l.ends(i)
-			a[u] += st.nu[i] + st.nu[i^1]
-		}
+		a := st.preconA()
 		for u := 0; u < st.l.nP; u++ {
 			if a[u] > 0 {
 				g.MustAddEdge(v0, u, a[u]/scale)
@@ -207,15 +218,28 @@ func (st *cmsvState) supportGraph(w []float64, precon bool) *graph.Graph {
 	return g
 }
 
-// solve performs one internal Laplacian solve on the bipartite support and
-// charges the Theorem 1.1 round formula (calibrated once with a measured
-// sparsifier alpha).
+// preconA returns a(v) per P vertex: the sum of nu weights around v, the
+// quantity behind the v0 preconditioning star of Algorithm 6 (line 5).
+func (st *cmsvState) preconA() []float64 {
+	a := make([]float64, st.l.nP)
+	for i := range st.f {
+		u, _ := st.l.ends(i)
+		a[u] += st.nu[i] + st.nu[i^1]
+	}
+	return a
+}
+
 // solve runs one Laplacian solve on the v0-preconditioned bipartite
-// support; the returned potentials are truncated back to the bipartite
-// vertices (flow pushed onto v0 edges is discarded; the corrector solve of
-// Algorithm 9 repairs the resulting first-order divergence, see DESIGN.md).
-func (st *cmsvState) solve(w []float64, b linalg.Vec) (linalg.Vec, error) {
-	support := st.supportGraph(w, true)
+// support and charges the Theorem 1.1 round formula (calibrated once with
+// a measured sparsifier alpha). The returned potentials are truncated back
+// to the bipartite vertices (flow pushed onto v0 edges is discarded; the
+// corrector solve of Algorithm 9 repairs the resulting first-order
+// divergence, see DESIGN.md). The default path reweights the build-once
+// session; FreshBuild rebuilds the support and Laplacian per solve
+// (baseline/oracle). slot names the warm-start lane ("predictor" or
+// "corrector"). The charge is topology-calibrated, so both paths put
+// identical charged rounds on the ledger.
+func (st *cmsvState) solve(w []float64, b linalg.Vec, slot string) (linalg.Vec, error) {
 	if !st.chargeOK && st.opts.Ledger != nil {
 		unit := st.supportGraph(nil, false)
 		sres, err := sparsify.Sparsify(unit, sparsify.Options{})
@@ -229,10 +253,17 @@ func (st *cmsvState) solve(w []float64, b linalg.Vec) (linalg.Vec, error) {
 		st.alphaRef = alpha
 		st.chargeOK = true
 	}
-	lg := linalg.NewLaplacian(support)
-	rhs := linalg.NewVec(support.N())
-	copy(rhs, b)
-	x, err := linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(rhs)
+	var x linalg.Vec
+	var err error
+	if st.opts.FreshBuild {
+		support := st.supportGraph(w, true)
+		lg := linalg.NewLaplacian(support)
+		rhs := linalg.NewVec(support.N())
+		copy(rhs, b)
+		x, err = linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(rhs)
+	} else {
+		x, err = st.sessionSolve(w, b, slot)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: electrical solve: %w", err)
 	}
@@ -243,6 +274,56 @@ func (st *cmsvState) solve(w []float64, b linalg.Vec) (linalg.Vec, error) {
 			"Thm 1.1 solver, n^{o(1)} log(W/eps) rounds (alpha measured)")
 	}
 	return x, nil
+}
+
+// sessionSolve lazily builds the electrical session on the first call and
+// reweights it in place afterwards — the only place this IPM constructs a
+// Laplacian: exactly once per topology.
+func (st *cmsvState) sessionSolve(w []float64, b linalg.Vec, slot string) (linalg.Vec, error) {
+	if st.sess == nil {
+		support := st.supportGraph(w, true)
+		// WarmStart stays off for charged-round parity with the fresh-build
+		// path; see the maxflow sessionSolve comment.
+		sess, err := electrical.NewSession(support, electrical.SessionOptions{})
+		if err != nil {
+			return nil, err
+		}
+		st.sess = sess
+		st.wFull = make([]float64, support.M())
+	} else {
+		st.fillSessionWeights(w)
+		if err := st.sess.Reweight(st.wFull); err != nil {
+			return nil, err
+		}
+	}
+	rhs := linalg.NewVec(st.sess.Graph().N())
+	copy(rhs, b)
+	return st.sess.Potentials(rhs, st.opts.SolveEps, slot)
+}
+
+// fillSessionWeights writes the current conductances into wFull in the
+// session graph's edge order: the bipartite edges (edge-id order) followed
+// by the v0 star edges (ascending P vertex, skipping a(v) = 0 vertices,
+// which have no incident edges and never gain any). Degenerate bipartite
+// weights are left as-is — Session.Reweight applies the same 1e-12 clamp
+// supportGraph does.
+func (st *cmsvState) fillSessionWeights(w []float64) {
+	for i := range st.f {
+		weight := 1.0
+		if w != nil {
+			weight = w[i]
+		}
+		st.wFull[i] = weight
+	}
+	scale := math.Pow(float64(st.l.nQ)+2, 1+2*st.eta)
+	a := st.preconA()
+	idx := len(st.f)
+	for u := 0; u < st.l.nP; u++ {
+		if a[u] > 0 {
+			st.wFull[idx] = a[u] / scale
+			idx++
+		}
+	}
 }
 
 // demandVec is the bipartite demand vector: P vertices supply b(u), Q
@@ -349,7 +430,7 @@ func (st *cmsvState) progress(res *Result) error {
 		r := st.nu[i] / (st.f[i] * st.f[i])
 		w[i] = 1 / r
 	}
-	phi, err := st.solve(w, st.demandVec())
+	phi, err := st.solve(w, st.demandVec(), "predictor")
 	if err != nil {
 		return err
 	}
@@ -398,7 +479,7 @@ func (st *cmsvState) progress(res *Result) error {
 		r := sPrime[i] * sPrime[i] / ((1 - delta) * st.f[i] * st.s[i])
 		w2[i] = 1 / r
 	}
-	phi2, err := st.solve(w2, resid)
+	phi2, err := st.solve(w2, resid, "corrector")
 	if err != nil {
 		return err
 	}

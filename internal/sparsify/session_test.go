@@ -1,0 +1,194 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/rounds"
+)
+
+func chainTestGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomRegular(n, 8, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sameGraph reports whether two graphs are bit-identical: same vertex count
+// and the same (U, V, W) edge list in the same order.
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	be := b.Edges()
+	for i, e := range a.Edges() {
+		if e.U != be[i].U || e.V != be[i].V || e.W != be[i].W {
+			return false
+		}
+	}
+	return true
+}
+
+// Tier 1: weights that keep every edge in its binary class must be served
+// by exact reuse, and the kept sparsifier must equal what a fresh build on
+// the new weights would produce (structure is a pure function of the
+// partition).
+func TestChainExactReuseBitIdentical(t *testing.T) {
+	g := chainTestGraph(t, 64, 3)
+	chain, err := NewChain(g.Clone(), ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All seed weights are 1 (class 0); any value in [1, 2) stays there.
+	rng := rand.New(rand.NewSource(7))
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1 + rng.Float64()*0.999
+	}
+	reused, err := chain.Reweight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("within-class reweight was not reused")
+	}
+	st := chain.Stats()
+	if st.Reweights != 1 || st.ExactReuses != 1 || st.Rebuilds != 0 || st.Remeasures != 0 {
+		t.Fatalf("stats = %+v, want exactly one exact reuse", st)
+	}
+
+	fresh := g.Clone()
+	for i, wi := range w {
+		if err := fresh.SetWeight(i, wi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Sparsify(fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(chain.H(), res.H) {
+		t.Fatal("reused sparsifier differs from a fresh build on the new weights")
+	}
+}
+
+// Tier 2: a uniform scale changes every class but leaves the envelope at 1,
+// so the structure is reused under the drift certificate without any
+// measurement.
+func TestChainUniformScaleDriftReuse(t *testing.T) {
+	g := chainTestGraph(t, 64, 4)
+	chain, err := NewChain(g.Clone(), ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, g.M())
+	for i, e := range g.Edges() {
+		w[i] = e.W * 8 // class 0 -> class 3 on every edge
+	}
+	reused, err := chain.Reweight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("uniform scale was not reused")
+	}
+	st := chain.Stats()
+	if st.DriftReuses != 1 || st.Remeasures != 0 || st.Rebuilds != 0 {
+		t.Fatalf("stats = %+v, want one drift reuse without measurement", st)
+	}
+}
+
+// Tier 3 -> rebuild: weights drifting over many orders of magnitude in
+// opposite directions defeat both certificates and the Lanczos re-measure,
+// forcing a full rebuild whose sparsifier matches a fresh build.
+func TestChainRebuildOnHugeDrift(t *testing.T) {
+	g := chainTestGraph(t, 64, 5)
+	chain, err := NewChain(g.Clone(), ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, g.M())
+	for i := range w {
+		if i%2 == 0 {
+			w[i] = math.Ldexp(1, 40)
+		} else {
+			w[i] = math.Ldexp(1, -40)
+		}
+	}
+	reused, err := chain.Reweight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatalf("2^80 envelope drift was reused (stats %+v)", chain.Stats())
+	}
+	if st := chain.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("stats = %+v, want one rebuild", st)
+	}
+
+	fresh := g.Clone()
+	for i, wi := range w {
+		if err := fresh.SetWeight(i, wi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Sparsify(fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(chain.H(), res.H) {
+		t.Fatal("rebuilt sparsifier differs from a fresh build on the new weights")
+	}
+}
+
+// Reuse replays the recorded build schedule, so a reweight-then-solve is
+// indistinguishable from a fresh build in charged rounds.
+func TestChainReuseChargesMatchFreshBuild(t *testing.T) {
+	g := chainTestGraph(t, 64, 6)
+
+	chainLed := rounds.New()
+	chain, err := NewChain(g.Clone(), ChainOptions{Sparsify: Options{Ledger: chainLed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildCharged := chainLed.TotalOf(rounds.Charged)
+
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1.5
+	}
+	if _, err := chain.Reweight(w); err != nil {
+		t.Fatal(err)
+	}
+	reuseCharged := chainLed.TotalOf(rounds.Charged) - buildCharged
+
+	freshLed := rounds.New()
+	fresh := g.Clone()
+	for i := range w {
+		if err := fresh.SetWeight(i, w[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Sparsify(fresh, Options{Ledger: freshLed}); err != nil {
+		t.Fatal(err)
+	}
+	if freshCharged := freshLed.TotalOf(rounds.Charged); reuseCharged != freshCharged {
+		t.Fatalf("reuse charged %d rounds, fresh build charges %d", reuseCharged, freshCharged)
+	}
+}
+
+func TestChainReweightLengthMismatch(t *testing.T) {
+	g := chainTestGraph(t, 32, 8)
+	chain, err := NewChain(g, ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Reweight(make([]float64, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
