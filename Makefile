@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver check experiments trace-smoke
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver check experiments trace-smoke stress bench-faults
 
 all: build
 
@@ -45,6 +45,17 @@ bench-solver:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Fault-injection stress gate: the differential suite (bit-identical outputs
+# under lossy FaultPlans, multiple plan seeds) plus the fault/reliable-layer
+# unit tests, all under the race detector. See DESIGN.md §9.
+stress:
+	$(GO) test -race -count=1 -run 'FaultDifferential' .
+	$(GO) test -race -count=1 -run 'Fault|Reliable|Stall|Crash' ./internal/cc/
+
+# Re-measure the reliable-delivery round overhead behind BENCH_faults.json.
+bench-faults:
+	$(GO) run ./cmd/experiments -run E13
 
 # One traced solve per algorithm layer; validates the JSONL event stream
 # against the schema and enforces the >= 95% span-attribution bar.

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	trOut := flag.String("trace", "", "run one traced solve per algorithm and write a Chrome trace_event file")
 	trEv := flag.String("trace-events", "", "like -trace but writing the deterministic JSONL event stream")

@@ -9,6 +9,8 @@
 //	go run ./cmd/flowcc -algo mincost -n 8
 //	go run ./cmd/flowcc -algo maxflow -arcs net.txt -source 0 -sink 9
 //	go run ./cmd/flowcc -algo maxflow -trace out.json   # Perfetto-loadable
+//	go run ./cmd/flowcc -algo maxflow -faults seed=1,drop=0.01
+//	go run ./cmd/flowcc -algo mincost -budget rounds=100000
 package main
 
 import (
@@ -16,10 +18,12 @@ import (
 	"fmt"
 	"os"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
+	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
 
@@ -44,12 +48,30 @@ func run() error {
 		seed   = flag.Int64("seed", 7, "generator seed")
 		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
 		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
+		faults = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
+		budget = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
 	)
 	flag.Parse()
 
 	var tr *trace.Tracer
 	if *trOut != "" || *trEv != "" {
 		tr = trace.New()
+	}
+	ro := core.RunOptions{Trace: tr}
+	if *faults != "" {
+		plan, err := cc.ParseFaultPlan(*faults)
+		if err != nil {
+			return err
+		}
+		ro.Faults = plan
+		fmt.Printf("faults: %s\n", plan)
+	}
+	if *budget != "" {
+		b, err := rounds.ParseBudget(*budget)
+		if err != nil {
+			return err
+		}
+		ro.Budget = b
 	}
 	finishTrace := func() error {
 		if !tr.Enabled() {
@@ -83,7 +105,7 @@ func run() error {
 		if t < 0 {
 			t = dg.N() - 1
 		}
-		res, err := core.MaxFlowTraced(dg, *source, t, tr)
+		res, err := core.MaxFlowWith(dg, *source, t, ro)
 		if err != nil {
 			return err
 		}
@@ -118,7 +140,7 @@ func run() error {
 		} else {
 			dg, sigma = assignmentInstance(*n, *n, 3, *maxW, *seed)
 		}
-		res, err := core.MinCostFlowTraced(dg, sigma, tr)
+		res, err := core.MinCostFlowWith(dg, sigma, ro)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,8 @@
 //	go run ./cmd/lapsolve -gen regular -n 256 -eps 1e-8
 //	go run ./cmd/lapsolve -graph edges.txt -source 0 -sink 9
 //	go run ./cmd/lapsolve -trace out.json   # load out.json in Perfetto
+//	go run ./cmd/lapsolve -faults seed=1,drop=0.01   # 1% message drops
+//	go run ./cmd/lapsolve -budget rounds=500         # hard round ceiling
 package main
 
 import (
@@ -17,9 +19,11 @@ import (
 	"fmt"
 	"os"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
 
@@ -41,8 +45,27 @@ func run() error {
 		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
 		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
 		nRHS   = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
+		faults = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
+		budget = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
 	)
 	flag.Parse()
+
+	var ro core.RunOptions
+	if *faults != "" {
+		plan, err := cc.ParseFaultPlan(*faults)
+		if err != nil {
+			return err
+		}
+		ro.Faults = plan
+		fmt.Printf("faults: %s\n", plan)
+	}
+	if *budget != "" {
+		b, err := rounds.ParseBudget(*budget)
+		if err != nil {
+			return err
+		}
+		ro.Budget = b
+	}
 
 	var g *graph.Graph
 	var err error
@@ -66,6 +89,7 @@ func run() error {
 	if *trOut != "" || *trEv != "" {
 		tr = trace.New()
 	}
+	ro.Trace = tr
 	fmt.Printf("graph: n=%d m=%d; eps=%g\n", g.N(), g.M(), *eps)
 	if *nRHS > 1 {
 		if err := runSession(g, *source, t, *eps, *nRHS, tr); err != nil {
@@ -75,7 +99,7 @@ func run() error {
 		b := linalg.NewVec(g.N())
 		b[*source] = 1
 		b[t] = -1
-		res, err := core.SolveLaplacianTraced(g, b, *eps, tr)
+		res, err := core.SolveLaplacianWith(g, b, *eps, ro)
 		if err != nil {
 			return err
 		}

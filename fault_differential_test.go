@@ -1,0 +1,154 @@
+package lapcc_test
+
+// Differential fault-injection tests: every headline algorithm must produce
+// a bit-identical answer when its network primitives run under a lossy
+// FaultPlan with the reliable retransmission layer, paying only extra
+// rounds. This is the acceptance gate of the robustness subsystem — faults
+// may cost rounds, never correctness.
+
+import (
+	"testing"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/core"
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// dropPlan is the canonical 1%-drop plan of the differential suite (same
+// rate BENCH_faults.json reports overhead for).
+func dropPlan(seed uint64) *cc.FaultPlan {
+	return &cc.FaultPlan{Seed: seed, Drop: 0.01}
+}
+
+func TestFaultDifferentialLapsolver(t *testing.T) {
+	g, err := graph.ConnectedGNM(48, 140, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(48)
+	b[0], b[47] = 1, -1
+	clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{Faults: dropPlan(101)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.X {
+		if clean.X[i] != faulty.X[i] {
+			t.Fatalf("potentials diverge at %d: %v != %v", i, clean.X[i], faulty.X[i])
+		}
+	}
+	if faulty.Rounds.Total < clean.Rounds.Total {
+		t.Fatalf("faulty run cheaper than clean: %d < %d rounds", faulty.Rounds.Total, clean.Rounds.Total)
+	}
+}
+
+func TestFaultDifferentialMaxflow(t *testing.T) {
+	dg := graph.LayeredDAG(3, 4, 2, 8, 21)
+	s, tt := 0, dg.N()-1
+	clean, err := core.MaxFlow(dg, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := core.MaxFlowWith(dg, s, tt, core.RunOptions{Faults: dropPlan(102)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Value != faulty.Value {
+		t.Fatalf("values diverge: %d != %d", clean.Value, faulty.Value)
+	}
+	for i := range clean.Flow {
+		if clean.Flow[i] != faulty.Flow[i] {
+			t.Fatalf("flows diverge at arc %d", i)
+		}
+	}
+	if faulty.Rounds.Total < clean.Rounds.Total {
+		t.Fatalf("faulty run cheaper than clean: %d < %d rounds", faulty.Rounds.Total, clean.Rounds.Total)
+	}
+}
+
+func TestFaultDifferentialMinCostFlow(t *testing.T) {
+	dg := graph.NewDi(6)
+	dg.MustAddArc(0, 2, 1, 3)
+	dg.MustAddArc(0, 3, 1, 1)
+	dg.MustAddArc(1, 3, 1, 2)
+	dg.MustAddArc(1, 4, 1, 4)
+	dg.MustAddArc(3, 5, 1, 1)
+	dg.MustAddArc(2, 5, 1, 2)
+	dg.MustAddArc(4, 5, 1, 1)
+	sigma := []int64{1, 1, 0, 0, 0, -2}
+	clean, err := core.MinCostFlow(dg, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{Faults: dropPlan(103)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Cost != faulty.Cost {
+		t.Fatalf("costs diverge: %d != %d", clean.Cost, faulty.Cost)
+	}
+	for i := range clean.Flow {
+		if clean.Flow[i] != faulty.Flow[i] {
+			t.Fatalf("flows diverge at arc %d", i)
+		}
+	}
+	if faulty.Rounds.Total < clean.Rounds.Total {
+		t.Fatalf("faulty run cheaper than clean: %d < %d rounds", faulty.Rounds.Total, clean.Rounds.Total)
+	}
+}
+
+func TestFaultDifferentialEuler(t *testing.T) {
+	g, err := graph.RandomEulerian(32, 8, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := core.EulerianOrient(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := core.EulerianOrientWith(g, core.RunOptions{Faults: dropPlan(104)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Orient {
+		if clean.Orient[i] != faulty.Orient[i] {
+			t.Fatalf("orientations diverge at edge %d", i)
+		}
+	}
+	if faulty.Rounds.Total < clean.Rounds.Total {
+		t.Fatalf("faulty run cheaper than clean: %d < %d rounds", faulty.Rounds.Total, clean.Rounds.Total)
+	}
+}
+
+// TestFaultDifferentialSeedSweep re-runs the lapsolver differential across
+// several plan seeds: determinism must hold for every fault pattern, not one
+// lucky draw. `make stress` runs this under -race.
+func TestFaultDifferentialSeedSweep(t *testing.T) {
+	g, err := graph.ConnectedGNM(32, 90, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(32)
+	b[0], b[31] = 1, -1
+	clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 42, 1000, 65537} {
+		faulty, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{
+			Faults: &cc.FaultPlan{Seed: seed, Drop: 0.02, Corrupt: 0.005, Duplicate: 0.01, Delay: 0.01},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range clean.X {
+			if clean.X[i] != faulty.X[i] {
+				t.Fatalf("seed %d: potentials diverge at %d", seed, i)
+			}
+		}
+	}
+}

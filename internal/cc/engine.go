@@ -90,6 +90,9 @@ type RoundStats struct {
 	StepDuration time.Duration
 	// MergeDuration is the wall time of the barrier merge phase.
 	MergeDuration time.Duration
+	// Faults counts the faults injected this round (all zero unless a
+	// FaultPlan is installed; see Engine.SetFaults).
+	Faults FaultStats
 }
 
 // Engine runs step-function programs on a simulated clique.
@@ -103,6 +106,13 @@ type Engine struct {
 	sequential bool
 	workers    int // configured worker count; 0 means GOMAXPROCS
 	observer   func(RoundStats)
+
+	// Fault-injection state (nil/empty without a plan; see faults.go).
+	faults     *FaultPlan
+	faultStats FaultStats   // cumulative across rounds and Run calls
+	delayQ     []delayedMsg // in-flight delayed messages
+	stallBuf   [][]Message  // per-node buffers for messages to stalled nodes
+	stallHeld  int          // total messages across stallBuf
 
 	// Reusable execution state, lazily sized on first Run and recycled
 	// across rounds and across Run calls.
@@ -177,6 +187,29 @@ func (e *Engine) SetWorkers(k int) {
 	e.ws = nil // force repartition on next Run
 }
 
+// SetFaults installs (or, with nil, removes) a fault plan consulted once per
+// round for every message and node; see FaultPlan for the taxonomy. The plan
+// is deterministic, so a faulty run replays identically across worker counts
+// and repeated executions. Installing a plan disables the zero-allocation
+// merge fast path; the clean path is untouched when no plan is set.
+func (e *Engine) SetFaults(p *FaultPlan) { e.faults = p }
+
+// Faults returns the currently installed fault plan (nil when clean).
+func (e *Engine) Faults() *FaultPlan { return e.faults }
+
+// FaultStats returns the cumulative fault counters across all rounds
+// executed so far.
+func (e *Engine) FaultStats() FaultStats { return e.faultStats }
+
+// delayedMsg is a message held back by a delay fault: data is an
+// engine-owned copy (the sender's arena is recycled before release), and
+// release is the round at whose start the message is delivered.
+type delayedMsg struct {
+	from, to int32
+	release  int
+	data     []int64
+}
+
 // SetObserver installs an instrumentation hook invoked once per committed
 // round (after the merge barrier, on the Run goroutine) with that round's
 // RoundStats. A nil observer (the default) disables instrumentation and its
@@ -218,6 +251,7 @@ type workerState struct {
 	round   int
 	parity  int
 	notDone int
+	stalled int // node-steps skipped by stall faults this round
 	err     error
 	errNode int
 	send    func(to int, data ...int64)
@@ -290,11 +324,23 @@ func (w *workerState) runRound(step Step, r int, inboxes [][]Message) {
 	w.err = nil
 	w.errNode = -1
 	w.notDone = 0
+	w.stalled = 0
 	w.round = r
 	w.parity = r & 1
 	w.outbox = w.outbox[:0]
 	w.arena[w.parity] = w.arena[w.parity][:0]
+	faults := w.e.faults
 	for v := w.lo; v < w.hi; v++ {
+		if faults != nil && faults.stalledAt(v, r) {
+			if !faults.crashedAt(v, r) {
+				// A stalled node skips its step but keeps the program
+				// alive: it counts as busy until the stall expires. A
+				// crashed node counts as done forever.
+				w.notDone++
+				w.stalled++
+			}
+			continue
+		}
 		w.curNode = v
 		w.epoch++
 		w.bccSet = false
@@ -357,6 +403,19 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 	for v := range e.inboxes {
 		e.inboxes[v] = nil
 	}
+	e.delayQ = e.delayQ[:0]
+	e.stallHeld = 0
+	if e.faults != nil {
+		if err := e.faults.Validate(); err != nil {
+			return 0, err
+		}
+		if len(e.stallBuf) != e.n {
+			e.stallBuf = make([][]Message, e.n)
+		}
+		for v := range e.stallBuf {
+			e.stallBuf[v] = e.stallBuf[v][:0]
+		}
+	}
 	var wg sync.WaitGroup
 	for r := 0; ; r++ {
 		var t0 time.Time
@@ -406,15 +465,17 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			}
 			return e.rounds - start, roundErr
 		}
-		if busy == 0 && sent == 0 {
-			// The final step consumed no communication; it is internal
-			// computation and costs no round.
+		if busy == 0 && sent == 0 && len(e.delayQ) == 0 && e.stallHeld == 0 {
+			// The final step consumed no communication and no faulted
+			// messages are still in flight; it is internal computation and
+			// costs no round.
 			return e.rounds - start, nil
 		}
-		// The round performed communication (or left nodes busy), so it
-		// must fit in the budget. Checking here — after the completion
-		// check — lets a communication-free finish at r == maxRounds
-		// succeed instead of spuriously hitting the limit.
+		// The round performed communication (or left nodes busy, or faults
+		// hold undelivered messages), so it must fit in the budget. Checking
+		// here — after the completion check — lets a communication-free
+		// finish at r == maxRounds succeed instead of spuriously hitting the
+		// limit.
 		if r >= maxRounds {
 			return e.rounds - start, fmt.Errorf("%w: %d rounds", ErrRoundLimit, maxRounds)
 		}
@@ -423,12 +484,124 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 		if e.observer != nil {
 			t0 = time.Now()
 		}
-		e.mergeOutboxes(sent)
+		var roundFaults FaultStats
+		if e.faults != nil {
+			roundFaults = e.mergeFaulty(r)
+			for _, w := range e.ws {
+				roundFaults.StalledSteps += int64(w.stalled)
+			}
+			e.faultStats.add(roundFaults)
+		} else {
+			e.mergeOutboxes(sent)
+		}
 		e.rounds++
 		if e.observer != nil {
-			e.emitStats(r, sent, busy, stepDur, time.Since(t0))
+			e.emitStats(r, sent, busy, stepDur, time.Since(t0), roundFaults)
 		}
 	}
+}
+
+// mergeFaulty is the fault-injecting counterpart of mergeOutboxes: it builds
+// the next round's inboxes while applying the plan's per-message fates and
+// the stall/crash buffering rules. It runs on the Run goroutine and visits
+// workers in ascending node-block order, so the injected faults — decided by
+// (round, from, to) alone — are identical for every worker count. Unlike
+// the clean path it allocates (fault mode trades the zero-allocation
+// guarantee for the richer delivery semantics). It returns this round's
+// fault counters (stall-step counts are added by the caller).
+func (e *Engine) mergeFaulty(r int) FaultStats {
+	var fs FaultStats
+	next := r + 1
+	for d := range e.inboxes {
+		e.inboxes[d] = nil
+	}
+	// Wake-up flushes first: messages buffered while a node was stalled are
+	// older than anything sent this round, so they land at the front of the
+	// inbox. A node that crashed while holding a buffer loses it.
+	if e.stallHeld > 0 {
+		for d := range e.stallBuf {
+			if len(e.stallBuf[d]) == 0 {
+				continue
+			}
+			if e.faults.crashedAt(d, next) {
+				fs.Dropped += int64(len(e.stallBuf[d]))
+				e.stallHeld -= len(e.stallBuf[d])
+				e.stallBuf[d] = e.stallBuf[d][:0]
+				continue
+			}
+			if e.faults.stalledAt(d, next) {
+				continue
+			}
+			e.inboxes[d] = append(e.inboxes[d], e.stallBuf[d]...)
+			e.stallHeld -= len(e.stallBuf[d])
+			e.stallBuf[d] = e.stallBuf[d][:0]
+		}
+	}
+	deliver := func(to int, m Message) {
+		if e.faults.crashedAt(to, next) {
+			fs.Dropped++
+			return
+		}
+		if e.faults.stalledAt(to, next) {
+			// Buffered payloads must survive arena recycling: copy.
+			cp := Message{From: m.From, Data: append([]int64(nil), m.Data...)}
+			e.stallBuf[to] = append(e.stallBuf[to], cp)
+			e.stallHeld++
+			return
+		}
+		e.inboxes[to] = append(e.inboxes[to], m)
+	}
+	// Delayed messages whose release round arrived deliver before this
+	// round's fresh sends (they were sent earlier).
+	if len(e.delayQ) > 0 {
+		keep := e.delayQ[:0]
+		for _, dm := range e.delayQ {
+			if dm.release <= next {
+				deliver(int(dm.to), Message{From: int(dm.from), Data: dm.data})
+			} else {
+				keep = append(keep, dm)
+			}
+		}
+		e.delayQ = keep
+	}
+	// Fresh sends in worker order = ascending source order, exactly the
+	// clean merge's arrival order.
+	for _, w := range e.ws {
+		arena := w.arena[w.parity]
+		for _, m := range w.outbox {
+			data := arena[m.off : m.off+m.width : m.off+m.width]
+			kind, delay := e.faults.engineFate(r, int(m.from), int(m.to))
+			switch kind {
+			case faultDrop:
+				fs.Dropped++
+				continue
+			case faultCorrupt:
+				if m.width > 0 {
+					// The arena slot is exclusive to this message; flip a
+					// deterministically chosen bit in place.
+					h := int(e.faults.hash(saltCorrupt, uint64(r), uint64(m.from), uint64(m.to)) >> 1)
+					data[h%len(data)] ^= 1 << uint((h/len(data))%64)
+					fs.Corrupted++
+				}
+			case faultDuplicate:
+				fs.Duplicated++
+				deliver(int(m.to), Message{From: int(m.from), Data: data})
+			case faultDelay:
+				fs.Delayed++
+				e.delayQ = append(e.delayQ, delayedMsg{
+					from: m.from, to: m.to, release: next + delay,
+					data: append([]int64(nil), data...),
+				})
+				continue
+			}
+			deliver(int(m.to), Message{From: int(m.from), Data: data})
+		}
+	}
+	// Keep dstCount coherent for emitStats' MaxIn figure.
+	for d := range e.inboxes {
+		e.dstCount[d] = len(e.inboxes[d])
+	}
+	return fs
 }
 
 // mergeOutboxes builds the next round's inboxes from the workers' private
@@ -474,7 +647,7 @@ func (e *Engine) mergeOutboxes(total int) {
 
 // emitStats assembles the deterministic per-round statistics for the
 // observer. Only runs when instrumentation is on.
-func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration) {
+func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration, faults FaultStats) {
 	sc := e.srcCount
 	for i := range sc {
 		sc[i] = 0
@@ -509,6 +682,7 @@ func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration) {
 		WidthHist:     hist,
 		StepDuration:  stepDur,
 		MergeDuration: mergeDur,
+		Faults:        faults,
 	})
 }
 

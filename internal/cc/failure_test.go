@@ -1,0 +1,96 @@
+package cc
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineFailurePropagationAndReuse pins the engine's failure contract:
+// when one node violates the model mid-round while many workers are
+// stepping, (1) the run aborts with the error of the lowest-indexed
+// offending node — deterministically, whatever the goroutine interleaving —
+// (2) no step of a later round executes, and (3) the engine remains fully
+// usable for subsequent runs. Run with -race this also proves the abort path
+// has no data races (make stress does exactly that).
+func TestEngineFailurePropagationAndReuse(t *testing.T) {
+	const n = 32
+	e := NewEngine(n)
+	e.SetWorkers(8)
+
+	for trial := 0; trial < 20; trial++ {
+		var stepsAfterFailure atomic.Int64
+		failRound := 2
+		step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+			if round > failRound {
+				stepsAfterFailure.Add(1)
+			}
+			if round == failRound && (node == 5 || node == 17 || node == 29) {
+				send(-1, 0) // model violation on three different workers
+				return false
+			}
+			send((node+1)%n, int64(round))
+			return round >= 5
+		}
+		_, err := e.Run(step, 100)
+		if !errors.Is(err, ErrBadRecipient) {
+			t.Fatalf("trial %d: want ErrBadRecipient, got %v", trial, err)
+		}
+		// Deterministic first error: node 5 is the lowest offender, so its
+		// error must win regardless of which worker finished first.
+		if !strings.Contains(err.Error(), "node 5 ") {
+			t.Fatalf("trial %d: error not attributed to lowest node: %v", trial, err)
+		}
+		if got := stepsAfterFailure.Load(); got != 0 {
+			t.Fatalf("trial %d: %d steps ran after the failing round", trial, got)
+		}
+
+		// The engine must be reusable: a clean program runs to completion on
+		// the same instance.
+		count := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+			if round == 0 {
+				send((node+1)%n, int64(node))
+				return false
+			}
+			return true
+		}
+		if _, err := e.Run(count, 10); err != nil {
+			t.Fatalf("trial %d: engine unusable after failure: %v", trial, err)
+		}
+	}
+}
+
+// TestEngineFailurePropagationUnderFaults: the abort contract holds with a
+// fault plan installed (the faulty merge path never runs on an aborted
+// round).
+func TestEngineFailurePropagationUnderFaults(t *testing.T) {
+	const n = 16
+	e := NewEngine(n)
+	e.SetWorkers(4)
+	e.SetFaults(&FaultPlan{Seed: 1, Drop: 0.2, Delay: 0.2})
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		if round == 1 && node == 7 {
+			send(n+5, 0)
+			return false
+		}
+		send((node+1)%n, int64(round))
+		return round >= 3
+	}
+	_, err := e.Run(step, 50)
+	if !errors.Is(err, ErrBadRecipient) {
+		t.Fatalf("want ErrBadRecipient, got %v", err)
+	}
+	// Reuse under the same plan: a clean program still completes (faults
+	// only delay it).
+	clean := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		if round == 0 {
+			send((node+1)%n, 1)
+			return false
+		}
+		return true
+	}
+	if _, err := e.Run(clean, 50); err != nil {
+		t.Fatalf("engine unusable after failure under faults: %v", err)
+	}
+}

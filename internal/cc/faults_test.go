@@ -1,0 +1,369 @@
+package cc
+
+import (
+	"errors"
+	"testing"
+)
+
+// gossipStep builds a simple gossip program: for `rounds` rounds, every node
+// sends (round, node) to its clockwise neighbor and records what it hears.
+// Returns the step plus the per-node transcript of received words.
+func gossipStep(n, roundsWanted int) (Step, [][]int64) {
+	heard := make([][]int64, n)
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		for _, m := range inbox {
+			heard[node] = append(heard[node], int64(m.From), m.Data[0], m.Data[1])
+		}
+		if round < roundsWanted {
+			send((node+1)%n, int64(round), int64(node))
+			return false
+		}
+		return true
+	}
+	return step, heard
+}
+
+func TestFaultPlanDeterministicFates(t *testing.T) {
+	p := &FaultPlan{Seed: 42, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1, Delay: 0.1}
+	q := &FaultPlan{Seed: 42, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1, Delay: 0.1}
+	counts := map[int]int{}
+	for r := 0; r < 50; r++ {
+		for from := 0; from < 8; from++ {
+			for to := 0; to < 8; to++ {
+				k1, d1 := p.engineFate(r, from, to)
+				k2, d2 := q.engineFate(r, from, to)
+				if k1 != k2 || d1 != d2 {
+					t.Fatalf("fate diverged at (%d,%d,%d): (%d,%d) vs (%d,%d)", r, from, to, k1, d1, k2, d2)
+				}
+				counts[k1]++
+			}
+		}
+	}
+	// With 3200 draws at these rates every fate must occur.
+	for _, k := range []int{faultNone, faultDrop, faultCorrupt, faultDuplicate, faultDelay} {
+		if counts[k] == 0 {
+			t.Fatalf("fate %d never drawn: %v", k, counts)
+		}
+	}
+	// A different seed must produce a different fate sequence.
+	diff := &FaultPlan{Seed: 43, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1, Delay: 0.1}
+	same := 0
+	total := 0
+	for r := 0; r < 20; r++ {
+		for from := 0; from < 8; from++ {
+			for to := 0; to < 8; to++ {
+				k1, _ := p.engineFate(r, from, to)
+				k2, _ := diff.engineFate(r, from, to)
+				total++
+				if k1 == k2 {
+					same++
+				}
+			}
+		}
+	}
+	if same == total {
+		t.Fatal("seed change did not change any fate")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []*FaultPlan{
+		{Drop: -0.1},
+		{Drop: 1.1},
+		{Drop: 0.6, Delay: 0.6},
+		{MaxDelay: -1},
+		{MaxRetries: -2},
+		{Stalls: []Stall{{Node: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadFaultPlan) {
+			t.Errorf("plan %d: want ErrBadFaultPlan, got %v", i, err)
+		}
+	}
+	ok := &FaultPlan{Drop: 0.5, Corrupt: 0.2, Duplicate: 0.2, Delay: 0.1, Stalls: []Stall{{Node: 0, From: 2, For: -1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// TestEngineFaultsDeterministicAcrossWorkers pins the core determinism
+// contract: a faulty run observes identical rounds, fault counters, and
+// per-node transcripts for every worker count, including sequential mode.
+func TestEngineFaultsDeterministicAcrossWorkers(t *testing.T) {
+	const n = 16
+	plan := &FaultPlan{Seed: 7, Drop: 0.1, Corrupt: 0.05, Duplicate: 0.05, Delay: 0.1, MaxDelay: 3}
+	type result struct {
+		rounds int64
+		stats  FaultStats
+		heard  [][]int64
+	}
+	run := func(configure func(*Engine)) result {
+		e := NewEngine(n)
+		configure(e)
+		e.SetFaults(plan)
+		step, heard := gossipStep(n, 12)
+		got, err := e.Run(step, 100)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return result{rounds: got, stats: e.FaultStats(), heard: heard}
+	}
+	base := run(func(e *Engine) { e.SetSequential(true) })
+	if base.stats.Total() == 0 {
+		t.Fatal("plan injected no faults at these rates")
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := run(func(e *Engine) { e.SetWorkers(workers) })
+		if got.rounds != base.rounds {
+			t.Fatalf("workers=%d: rounds %d != sequential %d", workers, got.rounds, base.rounds)
+		}
+		if got.stats != base.stats {
+			t.Fatalf("workers=%d: fault stats %+v != sequential %+v", workers, got.stats, base.stats)
+		}
+		for v := range got.heard {
+			if len(got.heard[v]) != len(base.heard[v]) {
+				t.Fatalf("workers=%d: node %d heard %d words, sequential heard %d",
+					workers, v, len(got.heard[v]), len(base.heard[v]))
+			}
+			for i := range got.heard[v] {
+				if got.heard[v][i] != base.heard[v][i] {
+					t.Fatalf("workers=%d: node %d transcript diverges at %d", workers, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDropAllSilencesNetwork: with Drop=1 nothing is ever delivered.
+func TestEngineDropAllSilencesNetwork(t *testing.T) {
+	const n = 6
+	e := NewEngine(n)
+	e.SetFaults(&FaultPlan{Drop: 1})
+	received := 0
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		received += len(inbox)
+		if round == 0 {
+			send((node+1)%n, 1)
+			return false
+		}
+		return true
+	}
+	e.SetSequential(true)
+	if _, err := e.Run(step, 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if received != 0 {
+		t.Fatalf("received %d messages under Drop=1", received)
+	}
+	if got := e.FaultStats().Dropped; got != n {
+		t.Fatalf("dropped %d, want %d", got, n)
+	}
+}
+
+// TestEngineDelayDeliversLate: a delayed message still arrives, late, and
+// the engine keeps running until the queue drains.
+func TestEngineDelayDeliversLate(t *testing.T) {
+	const n = 4
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetFaults(&FaultPlan{Delay: 1, MaxDelay: 3})
+	arrivals := map[int]int{} // node -> round the message arrived
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		for range inbox {
+			arrivals[node] = round
+		}
+		if round == 0 {
+			send((node+1)%n, int64(node))
+		}
+		return true
+	}
+	if _, err := e.Run(step, 20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(arrivals) != n {
+		t.Fatalf("only %d of %d delayed messages arrived: %v", len(arrivals), n, arrivals)
+	}
+	for node, r := range arrivals {
+		if r < 2 {
+			t.Fatalf("node %d received its message in round %d; delay must push past round 1", node, r)
+		}
+	}
+	if got := e.FaultStats().Delayed; got != n {
+		t.Fatalf("delayed %d, want %d", got, n)
+	}
+}
+
+// TestEngineStallBuffersAndReplays: messages to a stalled node are buffered
+// and replayed on wake; the stalled node counts as busy meanwhile.
+func TestEngineStallBuffersAndReplays(t *testing.T) {
+	const n = 4
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetFaults(&FaultPlan{Stalls: []Stall{{Node: 2, From: 1, For: 4}}})
+	var node2Inbox []int64
+	node2Rounds := []int{}
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		if node == 2 {
+			node2Rounds = append(node2Rounds, round)
+			for _, m := range inbox {
+				node2Inbox = append(node2Inbox, m.Data[0])
+			}
+		}
+		if round == 0 && node != 2 {
+			send(2, int64(10+node))
+		}
+		return true
+	}
+	if _, err := e.Run(step, 20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Node 2 steps in round 0, is silent for rounds 1-4, and wakes in round
+	// 5 with the three buffered messages.
+	if len(node2Rounds) < 2 || node2Rounds[1] != 5 {
+		t.Fatalf("node 2 stepped in rounds %v, want wake at round 5", node2Rounds)
+	}
+	if len(node2Inbox) != 3 {
+		t.Fatalf("node 2 heard %v, want the 3 buffered messages", node2Inbox)
+	}
+	if got := e.FaultStats().StalledSteps; got != 4 {
+		t.Fatalf("stalled steps %d, want 4", got)
+	}
+}
+
+// TestEngineCrashDropsTraffic: a crashed node counts as done and its mail is
+// discarded, so the rest of the program still terminates.
+func TestEngineCrashDropsTraffic(t *testing.T) {
+	const n = 4
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetFaults(&FaultPlan{Stalls: []Stall{{Node: 1, From: 0, For: -1}}})
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		if node == 1 {
+			t.Errorf("crashed node stepped in round %d", round)
+		}
+		if round == 0 {
+			send(1, int64(node))
+		}
+		return true
+	}
+	if _, err := e.Run(step, 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := e.FaultStats().Dropped; got != 3 {
+		t.Fatalf("dropped %d, want 3 (messages to the crashed node)", got)
+	}
+}
+
+// TestEngineCorruptFlipsBit: corruption changes exactly the payload, never
+// the message count.
+func TestEngineCorruptFlipsBit(t *testing.T) {
+	const n = 2
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetFaults(&FaultPlan{Corrupt: 1})
+	var got []int64
+	step := func(node, round int, inbox []Message, send func(to int, data ...int64)) bool {
+		for _, m := range inbox {
+			got = append(got, m.Data...)
+		}
+		if round == 0 && node == 0 {
+			send(1, 1000)
+		}
+		return true
+	}
+	if _, err := e.Run(step, 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("received %d words, want 1", len(got))
+	}
+	if got[0] == 1000 {
+		t.Fatal("payload was not corrupted under Corrupt=1")
+	}
+	if e.FaultStats().Corrupted != 1 {
+		t.Fatalf("corrupted %d, want 1", e.FaultStats().Corrupted)
+	}
+}
+
+// TestEngineFaultRoundStats: the observer sees per-round fault deltas that
+// sum to the engine's cumulative counters.
+func TestEngineFaultRoundStats(t *testing.T) {
+	const n = 8
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetFaults(&FaultPlan{Seed: 3, Drop: 0.3, Duplicate: 0.2})
+	var sum FaultStats
+	e.SetObserver(func(rs RoundStats) { sum.add(rs.Faults) })
+	step, _ := gossipStep(n, 10)
+	if _, err := e.Run(step, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum != e.FaultStats() {
+		t.Fatalf("observer sum %+v != engine cumulative %+v", sum, e.FaultStats())
+	}
+	if sum.Dropped == 0 || sum.Duplicated == 0 {
+		t.Fatalf("expected drops and duplicates at these rates: %+v", sum)
+	}
+}
+
+// TestEngineCleanPlanMatchesNoPlan: a zero-rate plan must not perturb the
+// program at all (same rounds, same transcripts as no plan).
+func TestEngineCleanPlanMatchesNoPlan(t *testing.T) {
+	const n = 8
+	run := func(plan *FaultPlan) (int64, [][]int64) {
+		e := NewEngine(n)
+		e.SetSequential(true)
+		e.SetFaults(plan)
+		step, heard := gossipStep(n, 6)
+		r, err := e.Run(step, 50)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return r, heard
+	}
+	cleanRounds, cleanHeard := run(nil)
+	faultRounds, faultHeard := run(&FaultPlan{Seed: 99})
+	if cleanRounds != faultRounds {
+		t.Fatalf("zero-rate plan changed rounds: %d vs %d", faultRounds, cleanRounds)
+	}
+	for v := range cleanHeard {
+		if len(cleanHeard[v]) != len(faultHeard[v]) {
+			t.Fatalf("zero-rate plan changed node %d transcript", v)
+		}
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=9,drop=0.01,corrupt=0.002,dup=0.003,delay=0.004,maxdelay=5,retries=4,stall=2:1:3,stall=0:0:-1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := FaultPlan{Seed: 9, Drop: 0.01, Corrupt: 0.002, Duplicate: 0.003, Delay: 0.004,
+		MaxDelay: 5, MaxRetries: 4, Stalls: []Stall{{2, 1, 3}, {0, 0, -1}}}
+	if p.Seed != want.Seed || p.Drop != want.Drop || p.Corrupt != want.Corrupt ||
+		p.Duplicate != want.Duplicate || p.Delay != want.Delay ||
+		p.MaxDelay != want.MaxDelay || p.MaxRetries != want.MaxRetries || len(p.Stalls) != 2 {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	// Round trip through String.
+	q, err := ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if q.String() != p.String() {
+		t.Fatalf("string round trip: %q vs %q", q.String(), p.String())
+	}
+	// Bare number shorthand.
+	if p, err = ParseFaultPlan("0.05"); err != nil || p.Drop != 0.05 {
+		t.Fatalf("shorthand: %+v, %v", p, err)
+	}
+	// Empty string is a nil plan.
+	if p, err = ParseFaultPlan(""); err != nil || p != nil {
+		t.Fatalf("empty: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"drop=x", "nope=1", "stall=1:2", "drop=2"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}

@@ -26,6 +26,11 @@ type Rings struct {
 	Succ    []int
 	Pred    []int
 	Alive   []bool
+	// Faults, if non-nil, routes every neighbor exchange through the
+	// reliable retransmission layer under the given fault plan. Delivered
+	// values — and therefore colors and matchings — are bit-identical to a
+	// fault-free run; only the round cost grows.
+	Faults *cc.FaultPlan
 }
 
 // ErrInconsistentRings reports a rings structure whose Succ/Pred pointers do
@@ -81,7 +86,13 @@ func (r *Rings) exchange(slots []int, vals []int64, target func(int) int, led *r
 			Data: []int64{int64(t), vals[s]},
 		})
 	}
-	delivered, _, err := cc.RouteBatched(r.CliqueN, pkts, led, tag)
+	var delivered [][]cc.Packet
+	var err error
+	if r.Faults != nil {
+		delivered, _, err = cc.ReliableRouteBatched(r.CliqueN, pkts, led, tag, r.Faults)
+	} else {
+		delivered, _, err = cc.RouteBatched(r.CliqueN, pkts, led, tag)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ccalgo: %s exchange: %w", tag, err)
 	}

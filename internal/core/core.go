@@ -15,6 +15,7 @@
 package core
 
 import (
+	"lapcc/internal/cc"
 	"lapcc/internal/euler"
 	"lapcc/internal/flowround"
 	"lapcc/internal/graph"
@@ -26,6 +27,23 @@ import (
 	"lapcc/internal/sparsify"
 	"lapcc/internal/trace"
 )
+
+// RunOptions carries the cross-cutting robustness and observability knobs of
+// the facade. The zero value is a plain run: no tracing, no faults, no
+// budget.
+type RunOptions struct {
+	// Trace, if non-nil, receives hierarchical span and cost events.
+	Trace *trace.Tracer
+	// Faults, if non-nil, subjects every network primitive of the run to
+	// the given deterministic fault plan, with delivery restored by the
+	// reliable retransmission layer (see internal/cc). Answers are
+	// bit-identical to a fault-free run; only the round cost grows.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, bounds the run's rounds and/or wall clock.
+	// Exhaustion aborts at the next phase boundary with an error unwrapping
+	// to rounds.ErrBudgetExceeded that carries the partial round stats.
+	Budget *rounds.Budget
+}
 
 // RoundReport summarizes where an algorithm's congested-clique rounds went.
 type RoundReport struct {
@@ -68,8 +86,15 @@ func SolveLaplacian(g *graph.Graph, b linalg.Vec, eps float64) (*LaplacianResult
 // SolveLaplacianTraced is SolveLaplacian recording spans into tr (nil for
 // no tracing).
 func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.Tracer) (*LaplacianResult, error) {
+	return SolveLaplacianWith(g, b, eps, RunOptions{Trace: tr})
+}
+
+// SolveLaplacianWith is SolveLaplacian under the given robustness options.
+func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions) (*LaplacianResult, error) {
 	led := rounds.New()
-	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr})
+	s, err := lapsolver.NewSolver(g, lapsolver.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +191,15 @@ func Sparsify(g *graph.Graph) (*SparsifyResult, error) {
 
 // SparsifyTraced is Sparsify recording spans into tr (nil for no tracing).
 func SparsifyTraced(g *graph.Graph, tr *trace.Tracer) (*SparsifyResult, error) {
+	return SparsifyWith(g, RunOptions{Trace: tr})
+}
+
+// SparsifyWith is Sparsify under the given robustness options.
+func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	led := rounds.New()
-	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr})
+	res, err := sparsify.Sparsify(g, sparsify.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -199,8 +231,15 @@ func EulerianOrient(g *graph.Graph) (*EulerianResult, error) {
 // EulerianOrientTraced is EulerianOrient recording spans into tr (nil for
 // no tracing).
 func EulerianOrientTraced(g *graph.Graph, tr *trace.Tracer) (*EulerianResult, error) {
+	return EulerianOrientWith(g, RunOptions{Trace: tr})
+}
+
+// EulerianOrientWith is EulerianOrient under the given robustness options.
+func EulerianOrientWith(g *graph.Graph, ro RunOptions) (*EulerianResult, error) {
 	led := rounds.New()
-	orient, st, err := euler.Orient(g, nil, euler.Options{Ledger: led, Trace: tr})
+	orient, st, err := euler.Orient(g, nil, euler.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -224,8 +263,15 @@ func RoundFlow(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 // RoundFlowTraced is RoundFlow recording spans into tr (nil for no
 // tracing).
 func RoundFlowTraced(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, tr *trace.Tracer) (*RoundFlowResult, error) {
+	return RoundFlowWith(dg, f, s, t, delta, useCosts, RunOptions{Trace: tr})
+}
+
+// RoundFlowWith is RoundFlow under the given robustness options.
+func RoundFlowWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, ro RunOptions) (*RoundFlowResult, error) {
 	led := rounds.New()
-	out, err := flowround.RoundWith(dg, f, s, t, delta, useCosts, flowround.Options{Ledger: led, Trace: tr})
+	out, err := flowround.RoundWith(dg, f, s, t, delta, useCosts, flowround.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -251,8 +297,16 @@ func MaxFlow(dg *graph.DiGraph, s, t int) (*MaxFlowResult, error) {
 
 // MaxFlowTraced is MaxFlow recording spans into tr (nil for no tracing).
 func MaxFlowTraced(dg *graph.DiGraph, s, t int, tr *trace.Tracer) (*MaxFlowResult, error) {
+	return MaxFlowWith(dg, s, t, RunOptions{Trace: tr})
+}
+
+// MaxFlowWith is MaxFlow under the given robustness options.
+func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, error) {
 	led := rounds.New()
-	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr})
+	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{
+		Ledger: led, FastSolve: true,
+		Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -287,8 +341,15 @@ func MinCostFlow(dg *graph.DiGraph, sigma []int64) (*MinCostFlowResult, error) {
 // MinCostFlowTraced is MinCostFlow recording spans into tr (nil for no
 // tracing).
 func MinCostFlowTraced(dg *graph.DiGraph, sigma []int64, tr *trace.Tracer) (*MinCostFlowResult, error) {
+	return MinCostFlowWith(dg, sigma, RunOptions{Trace: tr})
+}
+
+// MinCostFlowWith is MinCostFlow under the given robustness options.
+func MinCostFlowWith(dg *graph.DiGraph, sigma []int64, ro RunOptions) (*MinCostFlowResult, error) {
 	led := rounds.New()
-	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr})
+	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,15 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/lapsolver"
 	"lapcc/internal/linalg"
+	"lapcc/internal/rounds"
+	"lapcc/internal/trace"
 )
+
+// cgStagnationWindow is the plateau-detection window for the session's
+// internal CG solves: 1% improvement per 100 iterations is far below any
+// healthy Jacobi-CG convergence rate, so the window only fires on runs that
+// would otherwise burn to MaxIter and fail anyway.
+const cgStagnationWindow = 100
 
 // Session is the build-once/solve-many form of an electrical network over a
 // *fixed topology*: construction captures the structure (graph, Laplacian,
@@ -58,6 +66,18 @@ type SessionOptions struct {
 	// Convergence is still judged by the usual residual criteria, so warm
 	// starting changes wall clock only.
 	WarmStart bool
+	// Trace, if non-nil, receives spans for guarded-recovery events (and is
+	// propagated to the Full-mode solver when its own Trace is unset).
+	Trace *trace.Tracer
+	// Budget, if non-nil, is checked at every Potentials call and
+	// propagated to the Full-mode solver. Exhaustion aborts with an error
+	// unwrapping to rounds.ErrBudgetExceeded.
+	Budget *rounds.Budget
+	// NoFallback disables the internal path's exact dense fallback when CG
+	// stagnates or fails to converge even after the cold retry, restoring
+	// the historical fail-with-error behavior (and propagates to the
+	// Full-mode solver as NoEscalation).
+	NoFallback bool
 }
 
 // SessionStats counts session activity.
@@ -66,6 +86,9 @@ type SessionStats struct {
 	Solves int
 	// Reweights counts Reweight calls.
 	Reweights int
+	// DenseFallbacks counts Potentials calls rescued by the exact dense
+	// solve after the iterative path (warm and cold) failed.
+	DenseFallbacks int
 }
 
 // NewSession prepares a session over g. The session takes ownership of g:
@@ -81,8 +104,18 @@ func NewSession(g *graph.Graph, opts SessionOptions) (*Session, error) {
 	}
 	s.precond = linalg.NewVec(g.N())
 	s.refreshPrecond()
+	s.opts.Budget.BindIfUnbound(opts.Solver.Ledger)
 	if opts.Full {
-		solver, err := lapsolver.NewSolver(g, opts.Solver)
+		if opts.Trace != nil && s.opts.Solver.Trace == nil {
+			s.opts.Solver.Trace = opts.Trace
+		}
+		if opts.Budget != nil && s.opts.Solver.Budget == nil {
+			s.opts.Solver.Budget = opts.Budget
+		}
+		if opts.NoFallback {
+			s.opts.Solver.NoEscalation = true
+		}
+		solver, err := lapsolver.NewSolver(g, s.opts.Solver)
 		if err != nil {
 			return nil, fmt.Errorf("electrical: session: %w", err)
 		}
@@ -155,6 +188,9 @@ func (s *Session) Reweight(w []float64) error {
 // augmentation and fixing solves) keep them from clobbering each other's
 // seeds.
 func (s *Session) Potentials(b linalg.Vec, eps float64, slot string) (linalg.Vec, error) {
+	if err := s.opts.Budget.Check("potentials"); err != nil {
+		return nil, fmt.Errorf("electrical: session potentials: %w", err)
+	}
 	s.stats.Solves++
 	if s.solver != nil {
 		x, _, err := s.solver.Solve(b, eps)
@@ -175,22 +211,38 @@ func (s *Session) Potentials(b linalg.Vec, eps float64, slot string) (linalg.Vec
 			}
 		}
 	}
+	// The stagnation window turns a hopeless plateau into a prompt typed
+	// error (and thus a dense fallback) instead of a full MaxIter burn; a
+	// healthy CG run exits on tolerance long before any window matters.
 	x, _, err := linalg.SolveCG(s.lap, b, linalg.CGOptions{
-		Tol:         eps,
-		Precond:     s.precond,
-		ProjectMean: true,
-		X0:          x0,
-		Scratch:     &s.cg,
+		Tol:              eps,
+		Precond:          s.precond,
+		ProjectMean:      true,
+		X0:               x0,
+		Scratch:          &s.cg,
+		StagnationWindow: cgStagnationWindow,
 	})
 	if err != nil && x0 != nil {
 		// Warm starting is an optimization, never a correctness dependency:
 		// a degenerate seed must not fail a solve that succeeds cold.
 		x, _, err = linalg.SolveCG(s.lap, b, linalg.CGOptions{
-			Tol:         eps,
-			Precond:     s.precond,
-			ProjectMean: true,
-			Scratch:     &s.cg,
+			Tol:              eps,
+			Precond:          s.precond,
+			ProjectMean:      true,
+			Scratch:          &s.cg,
+			StagnationWindow: cgStagnationWindow,
 		})
+	}
+	if err != nil && !s.opts.NoFallback {
+		// Guarded recovery: the support is globally known on this path, so
+		// an exact dense solve costs zero extra rounds — it is pure internal
+		// computation, just much more memory- and time-hungry.
+		sp := s.opts.Trace.Start("session-dense-fallback")
+		x, err = linalg.LaplacianPseudoSolve(s.lap.Dense(), b)
+		sp.End()
+		if err == nil {
+			s.stats.DenseFallbacks++
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("electrical: session potentials: %w", err)

@@ -87,6 +87,16 @@ type Options struct {
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Faults, if non-nil, routes every network primitive of the run —
+	// probes, replies, expansion, mirror exchange, and the Cole-Vishkin
+	// exchanges inside the ring matching — through the reliable
+	// retransmission layer under the given fault plan. The orientation is
+	// bit-identical to a fault-free run; only the round cost grows.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, is checked at every contraction iteration;
+	// exhaustion aborts with an error unwrapping to
+	// rounds.ErrBudgetExceeded.
+	Budget *rounds.Budget
 }
 
 // Stats reports the execution of one orientation.
@@ -146,8 +156,12 @@ func orientImpl(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, e
 	if opts.Mode == Randomized {
 		maxIter = 8*int(math.Ceil(math.Log2(float64(2*m+2)))) + 40
 	}
+	opts.Budget.BindIfUnbound(led)
 	iter := 0
 	for s.anyProperRing() {
+		if err := opts.Budget.Check(fmt.Sprintf("euler-contract-%d", iter)); err != nil {
+			return nil, Stats{}, fmt.Errorf("euler: %w", err)
+		}
 		if iter >= maxIter {
 			return nil, Stats{}, fmt.Errorf("euler: contraction did not finish in %d iterations", maxIter)
 		}
@@ -195,9 +209,21 @@ type stateSet struct {
 	mode       Mode
 	rng        *rand.Rand
 	deadProbes int
+	faults     *cc.FaultPlan
 
 	// expansion[k] holds the contraction records of iteration k.
 	expansion [][]contractionRecord
+}
+
+// route delivers one batched routing step, through the reliable
+// retransmission layer when a fault plan is installed.
+func (s *stateSet) route(n int, pkts []cc.Packet, led *rounds.Ledger, tag string) ([][]cc.Packet, error) {
+	if s.faults != nil {
+		out, _, err := cc.ReliableRouteBatched(n, pkts, led, tag, s.faults)
+		return out, err
+	}
+	out, _, err := cc.RouteBatched(n, pkts, led, tag)
+	return out, err
 }
 
 // contractionRecord remembers one contracted run: informer stayed alive and
@@ -217,6 +243,7 @@ func newStateSet(g *graph.Graph, dirCost []int64, opts Options) *stateSet {
 	s := &stateSet{
 		mode:     opts.Mode,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+		faults:   opts.Faults,
 		g:        g,
 		owner:    make([]int, 2*m),
 		succ:     make([]int, 2*m),
@@ -298,7 +325,7 @@ func (s *stateSet) contractOnce(n int, led *rounds.Ledger, level int) error {
 			}
 		}
 	default:
-		rings := &ccalgo.Rings{CliqueN: n, Owner: s.owner, Succ: s.succ, Pred: s.pred, Alive: s.alive}
+		rings := &ccalgo.Rings{CliqueN: n, Owner: s.owner, Succ: s.succ, Pred: s.pred, Alive: s.alive, Faults: s.faults}
 		matchSucc, err := rings.MaximalMatching(led)
 		if err != nil {
 			return fmt.Errorf("euler: iteration %d: %w", level, err)
@@ -366,7 +393,7 @@ func (s *stateSet) contractOnce(n int, led *rounds.Ledger, level int) error {
 			}
 			pkts = append(pkts, cc.Packet{Src: s.owner[p.at], Dst: s.owner[next], Data: data})
 		}
-		delivered, _, err := cc.RouteBatched(n, pkts, led, "euler-probe")
+		delivered, err := s.route(n, pkts, led, "euler-probe")
 		if err != nil {
 			return fmt.Errorf("euler: probe relay: %w", err)
 		}
@@ -411,7 +438,7 @@ func (s *stateSet) contractOnce(n int, led *rounds.Ledger, level int) error {
 		}
 		replyPkts = append(replyPkts, cc.Packet{Src: s.owner[a.target], Dst: s.owner[a.origin], Data: data})
 	}
-	if _, _, err := cc.RouteBatched(n, replyPkts, led, "euler-reply"); err != nil {
+	if _, err := s.route(n, replyPkts, led, "euler-reply"); err != nil {
 		return fmt.Errorf("euler: probe reply: %w", err)
 	}
 
@@ -465,7 +492,7 @@ func (s *stateSet) expand(n int, led *rounds.Ledger) error {
 				})
 			}
 		}
-		delivered, _, err := cc.RouteBatched(n, pkts, led, "euler-expand")
+		delivered, err := s.route(n, pkts, led, "euler-expand")
 		if err != nil {
 			return fmt.Errorf("euler: expansion level %d: %w", level, err)
 		}
@@ -502,7 +529,7 @@ func (s *stateSet) resolveOrientations(n int, led *rounds.Ledger) ([]bool, error
 			Data: []int64{int64(mirror), s.leaderID[st], w},
 		})
 	}
-	if _, _, err := cc.RouteBatched(n, pkts, led, "euler-mirror"); err != nil {
+	if _, err := s.route(n, pkts, led, "euler-mirror"); err != nil {
 		return nil, fmt.Errorf("euler: mirror exchange: %w", err)
 	}
 	// Both endpoints now hold both tuples; the driver computes the shared

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/euler"
 	"lapcc/internal/graph"
 	"lapcc/internal/rounds"
@@ -33,6 +34,13 @@ type Options struct {
 	EulerMode euler.Mode
 	// EulerSeed drives euler.Randomized markings.
 	EulerSeed int64
+	// Faults, if non-nil, injects the given fault plan into every network
+	// primitive of each level's Eulerian orientation; results are
+	// bit-identical to a fault-free run at a larger round cost.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, is checked at every scaling level; exhaustion
+	// aborts with an error unwrapping to rounds.ErrBudgetExceeded.
+	Budget *rounds.Budget
 }
 
 // forcedCost is the sentinel cost forcing the virtual (t,s) arc to be a
@@ -112,7 +120,11 @@ func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 	}
 
 	levels := int(math.Round(math.Log2(1 / delta)))
+	opts.Budget.BindIfUnbound(led)
 	for level := 0; level < levels; level++ {
+		if err := opts.Budget.Check(fmt.Sprintf("flowround-level-%d", level)); err != nil {
+			return nil, fmt.Errorf("flowround: %w", err)
+		}
 		lsp := tr.Startf("level-%d", level)
 		// E' = arcs whose flow is an odd multiple of the current unit.
 		var odd []int
@@ -150,6 +162,7 @@ func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 			}
 			orient, _, err := euler.Orient(g, dirCost, euler.Options{
 				Mode: opts.EulerMode, Seed: opts.EulerSeed, Ledger: led, Trace: tr,
+				Faults: opts.Faults, Budget: opts.Budget,
 			})
 			if err != nil {
 				lsp.End()

@@ -70,7 +70,9 @@ func (g *DiGraph) AddArc(from, to int, capacity, cost int64) (int, error) {
 	return id, nil
 }
 
-// MustAddArc is AddArc that panics on error; for tests and generators.
+// MustAddArc is AddArc that panics on error; for tests and generators with
+// statically valid inputs only. Code building digraphs from external or
+// user-supplied input must use AddArc and handle the returned error.
 func (g *DiGraph) MustAddArc(from, to int, capacity, cost int64) int {
 	id, err := g.AddArc(from, to, capacity, cost)
 	if err != nil {

@@ -83,3 +83,15 @@ func TestDiGraphUndirected(t *testing.T) {
 		t.Fatalf("weight = %v, want 2", u.Edge(1).W)
 	}
 }
+
+// TestMustAddArcPanicsOnError pins the documented Must* split (see the
+// MustAddEdge test in graph_test.go).
+func TestMustAddArcPanicsOnError(t *testing.T) {
+	g := NewDi(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddArc did not panic on a negative capacity")
+		}
+	}()
+	g.MustAddArc(0, 1, -1, 0)
+}

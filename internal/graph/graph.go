@@ -146,7 +146,10 @@ func (g *Graph) Weights() []float64 {
 }
 
 // MustAddEdge is AddEdge for construction code with statically valid inputs.
-// It panics on error and is intended for tests and generators only.
+// It panics on error and is intended for tests and generators only; code
+// building graphs from external or user-supplied input must use AddEdge and
+// handle the returned error, which is always one of the typed sentinels
+// (ErrVertexRange, ErrSelfLoop, ErrBadWeight).
 func (g *Graph) MustAddEdge(u, v int, w float64) int {
 	id, err := g.AddEdge(u, v, w)
 	if err != nil {

@@ -206,3 +206,17 @@ func TestAdjacencyConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMustAddEdgePanicsOnError pins the documented Must* split: the
+// error-returning AddEdge is the library path for untrusted input, and the
+// Must variant panics — it must never be reached for by code that can see
+// malformed graphs.
+func TestMustAddEdgePanicsOnError(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge did not panic on a self-loop")
+		}
+	}()
+	g.MustAddEdge(1, 1, 1)
+}

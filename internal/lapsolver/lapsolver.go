@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
 	"lapcc/internal/rounds"
@@ -71,10 +72,29 @@ type Options struct {
 	Chain sparsify.ChainOptions
 	// Ledger, if non-nil, receives round costs.
 	Ledger *rounds.Ledger
+	// Faults, if non-nil, subjects every network primitive of the
+	// sparsifier chain to the given fault plan, with delivery restored by
+	// the reliable retransmission layer (propagated to Sparsify.Faults
+	// when that field is unset). Results are bit-identical to a fault-free
+	// run; only the round cost grows.
+	Faults *cc.FaultPlan
 	// Trace, if non-nil, receives hierarchical span and cost events for
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Budget, if non-nil, bounds each Solve: it is checked at every kappa
+	// attempt, and exhaustion aborts with an error unwrapping to
+	// rounds.ErrBudgetExceeded carrying the partial stats. A nil budget
+	// never limits anything.
+	Budget *rounds.Budget
+	// NoEscalation disables the guarded-recovery machinery — both the
+	// Chebyshev stagnation window (so every attempt runs its full
+	// prescribed iteration count) and the recovery ladder (stagnation →
+	// tightened internal tolerance → exact dense fallback) — restoring the
+	// historical run-to-the-bound, fail-with-error behavior. Intended for
+	// tests and experiments that pin the theory's round accounting or the
+	// failure modes themselves.
+	NoEscalation bool
 }
 
 func (o *Options) defaults() {
@@ -92,6 +112,10 @@ func (o *Options) defaults() {
 	}
 	if o.Trace != nil && o.Sparsify.Trace == nil {
 		o.Sparsify.Trace = o.Trace
+	}
+	o.Budget.BindIfUnbound(o.Ledger)
+	if o.Faults != nil && o.Sparsify.Faults == nil {
+		o.Sparsify.Faults = o.Faults
 	}
 }
 
@@ -128,6 +152,14 @@ type Stats struct {
 	KappaUsed float64
 	// Attempts is the number of kappa guesses tried.
 	Attempts int
+	// Escalations counts guarded-recovery steps taken: each tightening of
+	// the internal tolerance after a stagnated attempt is one escalation,
+	// and the dense fallback is one more.
+	Escalations int
+	// DenseFallback reports that the iterative ladder was exhausted and the
+	// result came from the exact dense solve (charged at the trivial-gather
+	// round cost).
+	DenseFallback bool
 }
 
 // NewSolver builds the sparsifier for g and prepares internal solvers.
@@ -299,7 +331,11 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 			}
 		}
 	}
+	tightened := false
 	for {
+		if err := s.opts.Budget.Check(fmt.Sprintf("lapsolve-attempt-%d", stats.Attempts+1)); err != nil {
+			return nil, stats, fmt.Errorf("lapsolver: %w", err)
+		}
 		stats.Attempts++
 		asp := s.opts.Trace.Startf("attempt-%d", stats.Attempts)
 		scale := math.Sqrt(kappa)
@@ -321,10 +357,19 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 		if chebyEps > 0.5 {
 			chebyEps = 0.5
 		}
+		window := linalg.StagnationWindowFor(kappa)
+		if s.opts.NoEscalation {
+			window = 0
+		}
 		chebyOpts := linalg.ChebyOptions{
-			Kappa: kappa,
-			Eps:   chebyEps,
-			X0:    x0,
+			Kappa:            kappa,
+			Eps:              chebyEps,
+			X0:               x0,
+			StagnationWindow: window,
+			// A plateau below the internal target is convergence at the FP
+			// floor, not stagnation: finish the prescribed iterations so
+			// round accounting matches the window-free solver exactly.
+			StagnationTol: chebyEps,
 			OnIteration: func() {
 				if s.opts.Ledger != nil {
 					// One matvec with L_G per iteration: one round.
@@ -342,7 +387,12 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 			chebyOpts.X0 = nil
 			x, res, err = linalg.PreconCheby(s.lg, bSolve, rhs, chebyOpts)
 		}
-		if err != nil {
+		// A stagnated attempt still hands back its plateau iterate — often a
+		// solution that already certifies (the plateau is the floating-point
+		// floor, below the target). Run the certificate before deciding.
+		stagnated := errors.Is(err, linalg.ErrStagnated)
+		if err != nil && !stagnated {
+			asp.End()
 			return nil, stats, fmt.Errorf("lapsolver: %w", err)
 		}
 		stats.Iterations += res.Iterations
@@ -363,11 +413,7 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 			return nil, stats, err
 		}
 		asp.End()
-		if rNorm <= target*bNorm || kappa >= s.opts.MaxKappa {
-			if rNorm > target*bNorm {
-				return nil, stats, fmt.Errorf("lapsolver: kappa cap %v reached with residual ratio %v (target %v)",
-					s.opts.MaxKappa, rNorm/bNorm, target)
-			}
+		if rNorm <= target*bNorm {
 			stats.KappaUsed = kappa
 			if s.opts.WarmStart {
 				s.warmKappa = kappa
@@ -376,11 +422,74 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 			}
 			return x, stats, nil
 		}
+		// Rejected. Doubling kappa cannot cure a plateau (the inner solve,
+		// not the condition bound, is the floor), and at the cap there is no
+		// kappa left to double to; both climb the recovery ladder instead —
+		// unless the caller pinned the historical failure modes.
+		if stagnated || kappa >= s.opts.MaxKappa {
+			if s.opts.NoEscalation {
+				if stagnated {
+					return nil, stats, fmt.Errorf("lapsolver: %w", err)
+				}
+				return nil, stats, fmt.Errorf("lapsolver: kappa cap %v reached with residual ratio %v (target %v)",
+					s.opts.MaxKappa, rNorm/bNorm, target)
+			}
+			if !tightened {
+				// Rung 1: retry the same kappa with a 100x tighter internal
+				// sparsifier solve. The certificate norm is defined by that
+				// solve, so recompute the right-hand side's norm under it.
+				tightened = true
+				stats.Escalations++
+				esp := s.opts.Trace.Start("escalate-tighten")
+				s.opts.InternalTol /= 100
+				s.setSparsifier(s.h)
+				bNorm, err = s.precondNorm(rhs)
+				esp.End()
+				if err != nil {
+					return nil, stats, err
+				}
+				x0 = nil
+				continue
+			}
+			// Rung 2: exact dense solve, charged at the trivial-gather cost.
+			stats.Escalations++
+			stats.DenseFallback = true
+			stats.KappaUsed = kappa
+			xd, derr := s.denseFallback(rhs)
+			if derr != nil {
+				return nil, stats, derr
+			}
+			if s.opts.WarmStart {
+				s.warmKappa = kappa
+				s.warmX = xd.Clone()
+				s.warmB = rhs.Clone()
+			}
+			return xd, stats, nil
+		}
 		kappa *= 4
 		// A rejected warm start may itself be the problem (stale
 		// potentials); continue the escalation cold.
 		x0 = nil
 	}
+}
+
+// denseFallback is the last rung of the guarded-recovery ladder: make the
+// whole graph globally known — charged at the trivial deterministic gather
+// cost of section 1.1 — and solve the system exactly with the dense
+// pseudoinverse path. It cannot stagnate and needs no kappa.
+func (s *Solver) denseFallback(rhs linalg.Vec) (linalg.Vec, error) {
+	sp := s.opts.Trace.Start("escalate-dense")
+	defer sp.End()
+	if s.opts.Ledger != nil {
+		s.opts.Ledger.Add("lapsolve-dense-gather", rounds.Charged,
+			rounds.TrivialGatherRounds(s.g.N(), s.g.M(), int64(math.Ceil(s.g.MaxWeight()))),
+			"trivial gather, section 1.1; exact dense fallback")
+	}
+	x, err := linalg.LaplacianPseudoSolve(s.lg.Dense(), rhs)
+	if err != nil {
+		return nil, fmt.Errorf("lapsolver: dense fallback: %w", err)
+	}
+	return x, nil
 }
 
 // precondNorm returns sqrt(v^T L_H^+ v), the preconditioner seminorm used

@@ -122,7 +122,11 @@ func TestSolveRoundsScaleWithLogEps(t *testing.T) {
 	}
 	roundsFor := func(eps float64) int64 {
 		led := rounds.New()
-		s, err := NewSolver(g, Options{Ledger: led})
+		// NoEscalation pins the theory accounting: every attempt runs its
+		// full prescribed O(sqrt(kappa) log(1/eps)) iterations. The default
+		// mode's stagnation window stops at the floating-point floor, which
+		// deliberately flattens exactly the growth this test measures.
+		s, err := NewSolver(g, Options{Ledger: led, NoEscalation: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,11 +3,24 @@ package linalg
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrNoConvergence reports that an iterative solver hit its iteration cap
 // before reaching the requested tolerance.
 var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// ErrStagnated reports that an iterative solver's residual plateaued: the
+// best residual seen failed to improve meaningfully over a trailing window
+// of iterations. Callers distinguish it from ErrNoConvergence because a
+// plateau means more iterations will not help — the cure is a better
+// preconditioner or an exact solve, not a larger iteration cap.
+var ErrStagnated = errors.New("linalg: iterative solver stagnated")
+
+// stagnationImprovement is the minimum relative improvement of the best
+// residual that counts as progress for plateau detection: anything below 1%
+// per window is treated as noise around a floor.
+const stagnationImprovement = 0.01
 
 // CGOptions configures conjugate-gradient solves.
 type CGOptions struct {
@@ -35,6 +48,13 @@ type CGOptions struct {
 	// layers issuing many solves of one dimension; the arithmetic is
 	// unchanged, so results are bit-identical with or without it.
 	Scratch *CGScratch
+	// StagnationWindow, when positive, enables plateau detection: if the
+	// best relative residual fails to improve by at least 1% over that many
+	// consecutive iterations, SolveCG aborts with an error unwrapping to
+	// ErrStagnated instead of burning the remaining iteration budget. The
+	// guarded-recovery ladder in lapsolver uses this to escalate early.
+	// Zero disables the check.
+	StagnationWindow int
 }
 
 // CGScratch holds SolveCG's internal work vectors across calls. The zero
@@ -137,6 +157,8 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 	rz := r.Dot(z)
 
 	var res CGResult
+	bestRes := math.Inf(1)
+	bestIter := 0
 	for k := 0; k < maxIter; k++ {
 		a.Apply(ap, p)
 		pap := p.Dot(ap)
@@ -163,6 +185,18 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 				x.RemoveMean()
 			}
 			return x, res, nil
+		}
+		if opts.StagnationWindow > 0 {
+			if res.Residual < bestRes*(1-stagnationImprovement) {
+				bestRes = res.Residual
+				bestIter = k
+			} else if k-bestIter >= opts.StagnationWindow {
+				if opts.ProjectMean {
+					x.RemoveMean()
+				}
+				return x, res, fmt.Errorf("%w: residual stuck at %v for %d iterations (best %v at iteration %d)",
+					ErrStagnated, res.Residual, k-bestIter, bestRes, bestIter+1)
+			}
 		}
 		applyPrecond(z, r)
 		if opts.ProjectMean {

@@ -36,6 +36,26 @@ type ChebyOptions struct {
 	// unchanged — warm starting improves the achieved residual, not the
 	// worst-case bound — so round accounting is identical either way.
 	X0 Vec
+	// StagnationWindow, when positive, enables plateau detection on the
+	// residual the iteration already maintains: if the relative residual
+	// changes by less than 1% per iteration for that many consecutive
+	// iterations, PreconCheby stops early with an error unwrapping to
+	// ErrStagnated and the iterate built so far. A flat residual means the
+	// preconditioner solve is too loose (the iteration is pinned at the
+	// inner solver's floor) — escalating is cheaper than finishing the
+	// prescribed iteration count. Flatness, not lack of improvement, is
+	// the signal: Chebyshev's l2 residual legitimately overshoots its
+	// starting value by large factors mid-run (the polynomial's transient
+	// hump) before contracting, so a healthy run is far from flat. Zero
+	// disables the check (bit-identical to the historical behavior).
+	StagnationWindow int
+	// StagnationTol, when positive, restricts plateau detection to
+	// residuals still above this relative level: a run that has already
+	// contracted below the caller's target and merely idles at its
+	// floating-point floor is converged, not stuck, and finishes its
+	// prescribed iteration count — keeping round accounting identical to a
+	// run without the window. Zero treats every flat stretch as stagnation.
+	StagnationTol float64
 }
 
 // ChebyResult reports a PreconCheby run.
@@ -85,6 +105,31 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 		r.AXPY(-1, av)
 	}
 
+	// Plateau detection state; bnorm stays zero when the check is disabled.
+	var bnorm float64
+	if opts.StagnationWindow > 0 {
+		bnorm = b.Norm2()
+	}
+	prevRes := -1.0
+	flat := 0
+	stagnated := func(k int) (bool, error) {
+		if bnorm == 0 {
+			return false, nil
+		}
+		res := r.Norm2() / bnorm
+		if prevRes >= 0 && math.Abs(res-prevRes) <= stagnationImprovement*prevRes {
+			flat++
+		} else {
+			flat = 0
+		}
+		prevRes = res
+		if flat >= opts.StagnationWindow && res > opts.StagnationTol {
+			return true, fmt.Errorf("%w: residual flat at %v for %d iterations (above tolerance %v after %d iterations)",
+				ErrStagnated, res, flat, opts.StagnationTol, k+1)
+		}
+		return false, nil
+	}
+
 	if delta < 1e-14 {
 		// kappa ~ 1: B is (a scalar multiple of) A; Richardson steps suffice.
 		for k := 0; k < iters; k++ {
@@ -100,6 +145,9 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 			a.Apply(av, x)
 			copy(r, b)
 			r.AXPY(-1, av)
+			if stuck, err := stagnated(k); stuck {
+				return x, ChebyResult{Iterations: k + 1}, err
+			}
 		}
 		return x, ChebyResult{Iterations: iters}, nil
 	}
@@ -125,6 +173,9 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 		x.AXPY(1, d)
 		a.Apply(av, d)
 		r.AXPY(-1, av)
+		if stuck, serr := stagnated(k); stuck {
+			return x, ChebyResult{Iterations: count}, serr
+		}
 		z, err = bSolve(r)
 		if err != nil {
 			return nil, ChebyResult{}, err
@@ -138,6 +189,15 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 	}
 	x.AXPY(1, d)
 	return x, ChebyResult{Iterations: count}, nil
+}
+
+// StagnationWindowFor returns a plateau-detection window matched to the
+// Chebyshev method's natural timescale for a given kappa: the residual only
+// contracts meaningfully over Theta(sqrt(kappa)) iterations (the slow-start
+// transient of the Chebyshev polynomial), so a shorter window would misread
+// a legitimately converging run as a plateau.
+func StagnationWindowFor(kappa float64) int {
+	return int(math.Ceil(2*math.Sqrt(math.Max(kappa, 1)))) + 10
 }
 
 // ChebyIterationBound returns the iteration count the theory prescribes for

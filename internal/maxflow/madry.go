@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/electrical"
 	"lapcc/internal/flowround"
 	"lapcc/internal/graph"
@@ -42,6 +43,17 @@ type Options struct {
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Faults, if non-nil, subjects every network primitive of the run —
+	// the Full-mode solver stack and the flow-rounding cascade — to the
+	// given fault plan, with delivery restored by the reliable
+	// retransmission layer. The flow is bit-identical to a fault-free run;
+	// only the round cost grows.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, bounds the run: it is checked at every IPM
+	// iteration and propagated to the electrical session and the rounding
+	// cascade. Exhaustion aborts with an error unwrapping to
+	// rounds.ErrBudgetExceeded carrying the partial stats.
+	Budget *rounds.Budget
 }
 
 func (o *Options) defaults() {
@@ -51,6 +63,7 @@ func (o *Options) defaults() {
 	if o.SolveEps == 0 {
 		o.SolveEps = 1e-10
 	}
+	o.Budget.BindIfUnbound(o.Ledger)
 }
 
 // Result reports a Theorem 1.2 run.
@@ -330,10 +343,10 @@ func (st *ipmState) sessionSolve(w []float64, b linalg.Vec, slot string) (linalg
 		// drift shifts the trajectory and with it the charged-round total.
 		// The session's win here is structural reuse; cold solves keep the
 		// path bit-identical to a fresh build every iteration.
-		opts := electrical.SessionOptions{}
+		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget}
 		if !st.opts.FastSolve {
 			opts.Full = true
-			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace}
+			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults}
 		}
 		sess, err := electrical.NewSession(st.supportGraph(w), opts)
 		if err != nil {
@@ -355,7 +368,7 @@ func (st *ipmState) solveFreshBaseline(w []float64, b linalg.Vec) (linalg.Vec, e
 		lg := linalg.NewLaplacian(support)
 		return linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(b)
 	}
-	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
+	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +389,9 @@ func (st *ipmState) run(res *Result) error {
 	prevRemaining := math.Inf(1)
 	stagnant := 0
 	for iter := 0; iter < st.budget; iter++ {
+		if err := st.opts.Budget.Check(fmt.Sprintf("maxflow-iter-%d", iter)); err != nil {
+			return err
+		}
 		remaining := st.demand - st.value()
 		// Stop when the whole demand is (almost) routed: the recovered
 		// original flow is then within one unit of optimal and rounding
@@ -603,7 +619,7 @@ func (st *ipmState) roundFlow(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("maxflow: snapping IPM flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, st.s, st.t, delta, false,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget})
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: rounding IPM flow: %w", err)
 	}

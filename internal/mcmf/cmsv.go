@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/electrical"
 	"lapcc/internal/flowround"
 	"lapcc/internal/graph"
@@ -39,6 +40,16 @@ type Options struct {
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Faults, if non-nil, subjects every network primitive of the
+	// flow-rounding cascade to the given fault plan, with delivery
+	// restored by the reliable retransmission layer. The flow is
+	// bit-identical to a fault-free run; only the round cost grows.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, bounds the run: it is checked at every IPM
+	// iteration and propagated to the electrical session and the rounding
+	// cascade. Exhaustion aborts with an error unwrapping to
+	// rounds.ErrBudgetExceeded carrying the partial stats.
+	Budget *rounds.Budget
 }
 
 func (o *Options) defaults() {
@@ -48,6 +59,7 @@ func (o *Options) defaults() {
 	if o.SolveEps == 0 {
 		o.SolveEps = 1e-10
 	}
+	o.Budget.BindIfUnbound(o.Ledger)
 }
 
 // Result reports a Theorem 1.3 run.
@@ -284,7 +296,7 @@ func (st *cmsvState) sessionSolve(w []float64, b linalg.Vec, slot string) (linal
 		support := st.supportGraph(w, true)
 		// WarmStart stays off for charged-round parity with the fresh-build
 		// path; see the maxflow sessionSolve comment.
-		sess, err := electrical.NewSession(support, electrical.SessionOptions{})
+		sess, err := electrical.NewSession(support, electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget})
 		if err != nil {
 			return nil, err
 		}
@@ -356,6 +368,9 @@ func (st *cmsvState) run(res *Result) error {
 	sp := st.opts.Trace.Start("ipm")
 	defer sp.End()
 	for iter := 0; iter < budget; iter++ {
+		if err := st.opts.Budget.Check(fmt.Sprintf("mcmf-iter-%d", iter)); err != nil {
+			return err
+		}
 		isp := st.opts.Trace.Startf("progress-%d", iter)
 		if iter > 0 {
 			for res.Perturbations < perturbFuse && st.weightedRhoNorm(3) > rhoBound {
@@ -564,7 +579,7 @@ func (st *cmsvState) roundToMatching(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("mcmf: snapping bipartite flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, S, T, delta, true,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget})
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: rounding bipartite flow: %w", err)
 	}

@@ -1,0 +1,206 @@
+package rounds
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBudgetExceeded reports that a solver exhausted its round or wall-clock
+// budget. Errors returned by Budget.Check unwrap to it; the concrete type is
+// *BudgetError, which carries the partial statistics accumulated up to the
+// point of exhaustion.
+var ErrBudgetExceeded = errors.New("rounds: budget exceeded")
+
+// Budget is a shared resource limit observed by every iterative phase of the
+// solver stack: a maximum number of ledger rounds, a wall-clock deadline, or
+// both. Solvers call Check at phase boundaries (a Chebyshev attempt, an IPM
+// iteration, a contraction or scaling level); when the budget is exhausted
+// Check returns a typed *BudgetError carrying the partial stats instead of
+// letting the phase loop run unbounded.
+//
+// A nil *Budget is inert: Check returns nil, so callers thread the pointer
+// unconditionally. The zero limits are also inert (MaxRounds == 0 means
+// unlimited rounds, MaxWall == 0 means no deadline).
+//
+// Round usage is measured against a Ledger as the delta since Bind, so one
+// budget naturally spans a pipeline of solver calls recording into one
+// ledger. A Budget is not safe for concurrent use from multiple goroutines;
+// the solver stack checks it only from the goroutine driving the phase loop.
+type Budget struct {
+	// MaxRounds caps the total (measured + charged) rounds recorded in the
+	// bound ledger since Bind. Zero means unlimited.
+	MaxRounds int64
+	// MaxWall is the wall-clock deadline since Bind (or since the first
+	// Check when never bound). Zero means no deadline.
+	MaxWall time.Duration
+
+	ledger *Ledger
+	snap   Snapshot
+	bound  bool
+}
+
+// NewBudget returns a budget with the given limits (either may be zero).
+func NewBudget(maxRounds int64, maxWall time.Duration) *Budget {
+	return &Budget{MaxRounds: maxRounds, MaxWall: maxWall}
+}
+
+// Bind anchors the budget's baseline to the ledger's current totals and
+// starts the wall clock. Rebinding resets both. A nil receiver or ledger is
+// allowed; with no ledger the budget meters wall clock only.
+func (b *Budget) Bind(l *Ledger) *Budget {
+	if b == nil {
+		return nil
+	}
+	b.ledger = l
+	b.snap = Snap(l)
+	b.bound = true
+	return b
+}
+
+// BindIfUnbound binds the budget to l only when no Bind has happened yet.
+// Solver packages call it with their own ledger so a fresh budget (e.g. a
+// parsed -budget flag) meters the ledger it rides with, while a budget the
+// caller already bound — to span a whole pipeline — keeps its baseline.
+func (b *Budget) BindIfUnbound(l *Ledger) {
+	if b != nil && !b.bound {
+		b.Bind(l)
+	}
+}
+
+// ensure lazily starts the clock for budgets used without an explicit Bind.
+func (b *Budget) ensure() {
+	if !b.bound {
+		b.snap = Snap(b.ledger)
+		b.bound = true
+	}
+}
+
+// Used returns the rounds consumed since Bind (zero without a ledger).
+func (b *Budget) Used() int64 {
+	if b == nil || b.ledger == nil {
+		return 0
+	}
+	b.ensure()
+	s := b.snap.Stats()
+	return s.MeasuredRounds + s.ChargedRounds
+}
+
+// Elapsed returns the wall-clock time consumed since Bind.
+func (b *Budget) Elapsed() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.ensure()
+	return b.snap.Stats().WallTime
+}
+
+// Remaining returns the rounds left before MaxRounds, or -1 when rounds are
+// unlimited.
+func (b *Budget) Remaining() int64 {
+	if b == nil || b.MaxRounds == 0 {
+		return -1
+	}
+	r := b.MaxRounds - b.Used()
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Check returns nil while the budget holds and a *BudgetError (unwrapping to
+// ErrBudgetExceeded) once it is exhausted. phase names the phase boundary
+// performing the check and is carried in the error for attribution. Nil
+// receivers always pass.
+func (b *Budget) Check(phase string) error {
+	if b == nil || (b.MaxRounds == 0 && b.MaxWall == 0) {
+		return nil
+	}
+	b.ensure()
+	partial := b.snap.Stats()
+	used := partial.MeasuredRounds + partial.ChargedRounds
+	if b.MaxRounds > 0 && b.ledger != nil && used >= b.MaxRounds {
+		return &BudgetError{Phase: phase, Used: used, Limit: b.MaxRounds,
+			Elapsed: partial.WallTime, WallLimit: b.MaxWall, Partial: partial}
+	}
+	if b.MaxWall > 0 && partial.WallTime >= b.MaxWall {
+		return &BudgetError{Phase: phase, Used: used, Limit: b.MaxRounds,
+			Elapsed: partial.WallTime, WallLimit: b.MaxWall, Partial: partial}
+	}
+	return nil
+}
+
+// BudgetError is the typed error returned when a Budget is exhausted. It
+// unwraps to ErrBudgetExceeded and carries the partial round statistics
+// accumulated between Bind and exhaustion, so callers can report how far the
+// computation got.
+type BudgetError struct {
+	// Phase is the phase boundary at which exhaustion was detected.
+	Phase string
+	// Used and Limit are the consumed and allowed rounds (Limit 0 when the
+	// wall clock, not the rounds, ran out).
+	Used  int64
+	Limit int64
+	// Elapsed and WallLimit are the wall-clock counterparts.
+	Elapsed   time.Duration
+	WallLimit time.Duration
+	// Partial is the full Stats delta since Bind — the work completed
+	// before the budget ran out.
+	Partial Stats
+}
+
+// Error renders the exhaustion cause and location.
+func (e *BudgetError) Error() string {
+	if e.Limit > 0 && e.Used >= e.Limit {
+		return fmt.Sprintf("rounds: budget exceeded at %s: %d/%d rounds used (%.2fs elapsed)",
+			e.Phase, e.Used, e.Limit, e.Elapsed.Seconds())
+	}
+	return fmt.Sprintf("rounds: budget exceeded at %s: %.2fs elapsed of %.2fs wall limit (%d rounds used)",
+		e.Phase, e.Elapsed.Seconds(), e.WallLimit.Seconds(), e.Used)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) hold.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// ParseBudget parses the -budget flag syntax: "rounds=N,wall=DUR" with
+// either part optional, or the shorthand of a bare integer meaning a round
+// limit ("-budget 5000"). An empty string returns a nil (inert) budget.
+func ParseBudget(s string) (*Budget, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	b := &Budget{}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n < 0 {
+			return nil, fmt.Errorf("rounds: negative budget %q", s)
+		}
+		b.MaxRounds = n
+		return b, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("rounds: bad budget field %q", field)
+		}
+		switch key {
+		case "rounds":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("rounds: bad budget rounds %q", val)
+			}
+			b.MaxRounds = n
+		case "wall":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("rounds: bad budget wall %q", val)
+			}
+			b.MaxWall = d
+		default:
+			return nil, fmt.Errorf("rounds: bad budget field %q", field)
+		}
+	}
+	return b, nil
+}

@@ -14,6 +14,7 @@
 package rounds
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -78,6 +79,8 @@ type Ledger struct {
 	entries map[string]*Entry
 	order   []string
 	sink    Sink
+	err     error
+	debug   bool
 }
 
 // New returns an empty ledger.
@@ -85,15 +88,25 @@ func New() *Ledger {
 	return &Ledger{entries: make(map[string]*Entry)}
 }
 
+// ErrNegativeCharge reports an Add call with a negative round count.
+var ErrNegativeCharge = errors.New("rounds: negative charge")
+
+// ErrKindConflict reports a tag re-registered with a different Kind:
+// silently merging measured and charged rounds under one tag would corrupt
+// the measured/charged split the ledger exists to report.
+var ErrKindConflict = errors.New("rounds: tag re-registered with a different kind")
+
 // Add records r rounds under the given tag. The cite string documents the
 // source of a Charged formula (ignored for Measured entries after first
-// use). Negative r is a programming error and panics, as is re-registering
-// an existing tag with a different Kind: silently merging measured and
-// charged rounds under one tag would corrupt the measured/charged split the
-// ledger exists to report.
+// use). Negative r and re-registering an existing tag with a different Kind
+// are programming errors: the offending record is discarded and the first
+// such error is retained for Ledger.Err, so library callers can surface it
+// without crashing. SetDebug(true) restores the old fail-fast panic for
+// tests and development.
 func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 	if r < 0 {
-		panic(fmt.Sprintf("rounds: negative charge %d for %q", r, tag))
+		l.fail(fmt.Errorf("%w: %d for %q", ErrNegativeCharge, r, tag))
+		return
 	}
 	l.mu.Lock()
 	e, ok := l.entries[tag]
@@ -103,7 +116,8 @@ func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 		l.order = append(l.order, tag)
 	} else if e.Kind != kind {
 		l.mu.Unlock()
-		panic(fmt.Sprintf("rounds: tag %q re-registered as %v, was recorded as %v", tag, kind, e.Kind))
+		l.fail(fmt.Errorf("%w: tag %q added as %v, was recorded as %v", ErrKindConflict, tag, kind, e.Kind))
+		return
 	}
 	e.Rounds += r
 	e.Calls++
@@ -114,6 +128,37 @@ func (l *Ledger) Add(tag string, kind Kind, r int64, cite string) {
 	if sink != nil {
 		sink.RoundCost(tag, kind, r)
 	}
+}
+
+// fail records (or, in debug mode, panics on) an accounting error. Only the
+// first error is kept — later ones are usually cascades of the first.
+func (l *Ledger) fail(err error) {
+	l.mu.Lock()
+	debug := l.debug
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	if debug {
+		panic(err.Error())
+	}
+}
+
+// Err returns the first accounting error recorded by Add (nil when the
+// ledger is consistent). Callers that accumulate costs across a whole solver
+// run check it once at the end rather than wrapping every Add.
+func (l *Ledger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// SetDebug switches accounting errors from the recorded-error path to an
+// immediate panic, restoring fail-fast behavior for tests and development.
+func (l *Ledger) SetDebug(debug bool) {
+	l.mu.Lock()
+	l.debug = debug
+	l.mu.Unlock()
 }
 
 // SetSink installs (or, with nil, removes) the sink notified on every Add.

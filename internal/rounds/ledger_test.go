@@ -1,6 +1,7 @@
 package rounds
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -51,13 +52,32 @@ func TestLedgerReset(t *testing.T) {
 	}
 }
 
-func TestLedgerNegativePanics(t *testing.T) {
+func TestLedgerNegativeChargeRecordsError(t *testing.T) {
+	l := New()
+	l.Add("x", Measured, -1, "")
+	if !errors.Is(l.Err(), ErrNegativeCharge) {
+		t.Fatalf("Err() = %v, want ErrNegativeCharge", l.Err())
+	}
+	if l.Total() != 0 {
+		t.Fatalf("offending record was applied: total %d", l.Total())
+	}
+	// The first error sticks; later ones do not overwrite it.
+	l.Add("x", Charged, 1, "")
+	l.Add("x", Measured, 1, "")
+	if !errors.Is(l.Err(), ErrNegativeCharge) {
+		t.Fatalf("first error lost: %v", l.Err())
+	}
+}
+
+func TestLedgerNegativePanicsInDebug(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("negative charge should panic")
+			t.Fatal("negative charge should panic in debug mode")
 		}
 	}()
-	New().Add("x", Measured, -1, "")
+	l := New()
+	l.SetDebug(true)
+	l.Add("x", Measured, -1, "")
 }
 
 func TestLedgerConcurrent(t *testing.T) {
@@ -79,12 +99,25 @@ func TestLedgerConcurrent(t *testing.T) {
 }
 
 func TestLedgerRejectsKindConflict(t *testing.T) {
+	l := New()
+	l.Add("apsp", Charged, 3, CiteAPSP)
+	l.Add("apsp", Measured, 1, "")
+	if !errors.Is(l.Err(), ErrKindConflict) {
+		t.Fatalf("Err() = %v, want ErrKindConflict", l.Err())
+	}
+	if l.Total() != 3 {
+		t.Fatalf("conflicting record was merged: total %d, want 3", l.Total())
+	}
+}
+
+func TestLedgerKindConflictPanicsInDebug(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("re-registering a tag with a different kind should panic")
+			t.Fatal("kind conflict should panic in debug mode")
 		}
 	}()
 	l := New()
+	l.SetDebug(true)
 	l.Add("apsp", Charged, 3, CiteAPSP)
 	l.Add("apsp", Measured, 1, "")
 }

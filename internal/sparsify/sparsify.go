@@ -66,6 +66,15 @@ type Options struct {
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Faults, if non-nil, injects the given fault plan into every network
+	// primitive this package executes (broadcasts run through the reliable
+	// retransmission layer, cc.ReliableBroadcastAll). Results are
+	// bit-identical to a fault-free run; only the round cost grows.
+	Faults *cc.FaultPlan
+	// Budget, if non-nil, is checked at every decomposition level;
+	// exhaustion aborts with an error unwrapping to
+	// rounds.ErrBudgetExceeded.
+	Budget *rounds.Budget
 }
 
 func (o *Options) defaults(m int) {
@@ -144,6 +153,9 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 func sparsifyClass(g *graph.Graph, edgeIDs []int, scale float64, opts Options, res *Result) error {
 	cur := edgeIDs
 	for level := 0; len(cur) > 0; level++ {
+		if err := opts.Budget.Check(fmt.Sprintf("sparsify-level-%d", level)); err != nil {
+			return err
+		}
 		lsp := opts.Trace.Startf("level-%d", level)
 		done := sparsifyLevel(g, &cur, level, scale, opts, res)
 		lsp.End()
@@ -190,8 +202,14 @@ func sparsifyLevel(g *graph.Graph, curp *[]int, level int, scale float64, opts O
 		opts.Ledger.Add("sparsify-decomp", rounds.Charged,
 			rounds.ExpanderDecompRounds(g.N(), opts.Eps, opts.Gamma), rounds.CiteCS20)
 		// One broadcast round: every node announces its part id and
-		// degree, making the product demand graphs globally known.
-		if _, err := cc.BroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
+		// degree, making the product demand graphs globally known. Under a
+		// fault plan the reliable layer retransmits until the values are
+		// identical to the clean broadcast.
+		if opts.Faults != nil {
+			if _, _, err := cc.ReliableBroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast", opts.Faults); err != nil {
+				return levelOutcome{err: err}
+			}
+		} else if _, err := cc.BroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
 			return levelOutcome{err: err}
 		}
 	}
