@@ -6,7 +6,25 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver check experiments trace-smoke stress bench-faults
+# Timing fidelity for the recorded benchmark suites (the BENCH_*.json
+# baselines were recorded at 2s) and for the faster regression gate.
+BENCHTIME      ?= 2s
+GATE_BENCHTIME ?= 1s
+
+# The recorded suites: one -bench regexp + package list per BENCH_*.json,
+# shared by the human-facing bench-* targets and cmd/benchgate (which
+# hardcodes the same pairs in internal/benchgate.Suites).
+BENCH_ENGINE_BENCH := BenchmarkEngineRun|BenchmarkRoute
+BENCH_ENGINE_PKGS  := ./internal/cc/
+BENCH_SOLVER_BENCH := BenchmarkIPM|BenchmarkSolverSession
+BENCH_SOLVER_PKGS  := ./internal/maxflow/ ./internal/lapsolver/
+
+# Common recipe: run one recorded benchmark suite with timing fidelity.
+define run-bench
+$(GO) test -run xxx -bench '$(1)' -benchmem -benchtime $(BENCHTIME) $(2)
+endef
+
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-gate check experiments trace-smoke stress bench-faults
 
 all: build
 
@@ -32,16 +50,25 @@ bench-smoke:
 
 # The engine/routing microbenchmarks behind BENCH_engine.json.
 bench-engine:
-	$(GO) test -run xxx -bench 'BenchmarkEngineRun|BenchmarkRoute' -benchmem -benchtime 2s ./internal/cc/
-
-# Refresh the recorded baseline (see BENCH_engine.json for the format).
-bench-baseline:
-	$(GO) test -run xxx -bench 'BenchmarkEngineRun|BenchmarkRoute' -benchmem -benchtime 2s ./internal/cc/ | tee /tmp/bench_engine.txt
+	$(call run-bench,$(BENCH_ENGINE_BENCH),$(BENCH_ENGINE_PKGS))
 
 # The session-layer benchmarks behind BENCH_solver.json: build-once/solve-many
 # vs rebuild-per-solve through the max-flow IPM and the many-RHS solver.
 bench-solver:
-	$(GO) test -run xxx -bench 'BenchmarkIPM|BenchmarkSolverSession' -benchmem -benchtime 2s ./internal/maxflow/ ./internal/lapsolver/
+	$(call run-bench,$(BENCH_SOLVER_BENCH),$(BENCH_SOLVER_PKGS))
+
+# Refresh every recorded baseline: re-measures each suite at full fidelity
+# and writes BENCH_<suite>.new.json next to the checked-in files (copy over
+# the baseline to accept, restoring headline commentary where it changed).
+bench-baseline:
+	$(GO) run ./cmd/benchgate -write-only -benchtime $(BENCHTIME)
+
+# Perf-regression gate: re-measure each suite, write BENCH_<suite>.new.json,
+# and diff against the checked-in baselines — ns/op within 1.75x, B/op
+# within 1.5x, allocs/op within 1.25x, fault-workload round counts exact.
+# Non-zero exit on any regression.
+bench-gate:
+	$(GO) run ./cmd/benchgate -benchtime $(GATE_BENCHTIME)
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -17,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -36,20 +38,22 @@ func main() {
 
 func run() error {
 	var (
-		algo   = flag.String("algo", "maxflow", "maxflow | mincost")
-		path   = flag.String("arcs", "", "arc-list file (from to cap [cost])")
-		width  = flag.Int("width", 4, "layered generator width (maxflow)")
-		layers = flag.Int("layers", 3, "layered generator depth (maxflow)")
-		maxCap = flag.Int64("maxcap", 8, "generator capacity bound")
-		n      = flag.Int("n", 6, "assignment generator side size (mincost)")
-		maxW   = flag.Int64("maxcost", 16, "generator cost bound (mincost)")
-		source = flag.Int("source", 0, "source vertex")
-		sink   = flag.Int("sink", -1, "sink vertex (default n-1)")
-		seed   = flag.Int64("seed", 7, "generator seed")
-		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
-		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
-		faults = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
-		budget = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
+		algo      = flag.String("algo", "maxflow", "maxflow | mincost")
+		path      = flag.String("arcs", "", "arc-list file (from to cap [cost])")
+		width     = flag.Int("width", 4, "layered generator width (maxflow)")
+		layers    = flag.Int("layers", 3, "layered generator depth (maxflow)")
+		maxCap    = flag.Int64("maxcap", 8, "generator capacity bound")
+		n         = flag.Int("n", 6, "assignment generator side size (mincost)")
+		maxW      = flag.Int64("maxcost", 16, "generator cost bound (mincost)")
+		source    = flag.Int("source", 0, "source vertex")
+		sink      = flag.Int("sink", -1, "sink vertex (default n-1)")
+		seed      = flag.Int64("seed", 7, "generator seed")
+		trOut     = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		trEv      = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
+		faults    = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
+		budget    = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,14 @@ func run() error {
 		tr = trace.New()
 	}
 	ro := core.RunOptions{Trace: tr}
+	if *debugAddr != "" {
+		srv, reg, err := startDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer holdAndClose(srv, *debugHold)
+		ro.Metrics = reg
+	}
 	if *faults != "" {
 		plan, err := cc.ParseFaultPlan(*faults)
 		if err != nil {
@@ -157,6 +169,30 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -algo %q (want maxflow or mincost)", *algo)
 	}
+}
+
+// startDebug creates the process-wide metrics registry, points the clique
+// engine at it, and serves the debug endpoints on addr.
+func startDebug(addr string) (*metrics.DebugServer, *metrics.Registry, error) {
+	reg := metrics.NewRegistry()
+	cc.SetMetrics(reg)
+	srv, err := metrics.StartDebugServer(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("debug: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	return srv, reg, nil
+}
+
+// holdAndClose keeps the debug server up for the grace period (so short
+// runs can still be scraped) and shuts it down.
+func holdAndClose(srv *metrics.DebugServer, hold time.Duration) {
+	if hold > 0 {
+		fmt.Printf("debug: holding %s for scrapes of http://%s\n", hold, srv.Addr())
+		time.Sleep(hold)
+	}
+	srv.Close()
+	cc.SetMetrics(nil)
 }
 
 func assignmentInstance(left, right, degree int, maxCost int64, seed int64) (*graph.DiGraph, []int64) {

@@ -18,11 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -36,21 +38,31 @@ func main() {
 
 func run() error {
 	var (
-		path   = flag.String("graph", "", "edge-list file (u v w per line)")
-		gen    = flag.String("gen", "regular", "generator when no file given: regular|grid|complete")
-		n      = flag.Int("n", 128, "generator size")
-		eps    = flag.Float64("eps", 1e-8, "target relative error in the L_G norm")
-		source = flag.Int("source", 0, "pole with +1 charge")
-		sink   = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
-		trOut  = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
-		trEv   = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
-		nRHS   = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
-		faults = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
-		budget = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
+		path      = flag.String("graph", "", "edge-list file (u v w per line)")
+		gen       = flag.String("gen", "regular", "generator when no file given: regular|grid|complete")
+		n         = flag.Int("n", 128, "generator size")
+		eps       = flag.Float64("eps", 1e-8, "target relative error in the L_G norm")
+		source    = flag.Int("source", 0, "pole with +1 charge")
+		sink      = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
+		trOut     = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		trEv      = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
+		nRHS      = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
+		faults    = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
+		budget    = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
 	)
 	flag.Parse()
 
 	var ro core.RunOptions
+	if *debugAddr != "" {
+		srv, reg, err := startDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer holdAndClose(srv, *debugHold)
+		ro.Metrics = reg
+	}
 	if *faults != "" {
 		plan, err := cc.ParseFaultPlan(*faults)
 		if err != nil {
@@ -156,6 +168,30 @@ func runSession(g *graph.Graph, source, sink int, eps float64, k int, tr *trace.
 	fmt.Printf("session: %d right-hand sides in %d total rounds (measured %d, charged %d)\n",
 		k, tot.Total, tot.Measured, tot.Charged)
 	return nil
+}
+
+// startDebug creates the process-wide metrics registry, points the clique
+// engine at it, and serves the debug endpoints on addr.
+func startDebug(addr string) (*metrics.DebugServer, *metrics.Registry, error) {
+	reg := metrics.NewRegistry()
+	cc.SetMetrics(reg)
+	srv, err := metrics.StartDebugServer(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("debug: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	return srv, reg, nil
+}
+
+// holdAndClose keeps the debug server up for the grace period (so short
+// runs can still be scraped) and shuts it down.
+func holdAndClose(srv *metrics.DebugServer, hold time.Duration) {
+	if hold > 0 {
+		fmt.Printf("debug: holding %s for scrapes of http://%s\n", hold, srv.Addr())
+		time.Sleep(hold)
+	}
+	srv.Close()
+	cc.SetMetrics(nil)
 }
 
 func generate(kind string, n int) (*graph.Graph, error) {

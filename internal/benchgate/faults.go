@@ -1,0 +1,114 @@
+package benchgate
+
+import (
+	"fmt"
+	"math"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/core"
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// MeasureFaultWorkloads re-executes the four fault-differential workloads
+// (the same instances and plan seeds as fault_differential_test.go and
+// BENCH_faults.json) and returns their clean/faulty round totals. Rounds
+// are model quantities, deterministic per plan seed, so the result is
+// host-independent and gates exactly against the baseline.
+func MeasureFaultWorkloads() (map[string]Workload, error) {
+	const drop = 0.01
+	out := map[string]Workload{}
+
+	record := func(name, instance string, clean, faulty int64) {
+		overhead := 0.0
+		if clean > 0 {
+			overhead = math.Round(float64(faulty-clean)/float64(clean)*1000) / 10
+		}
+		out[name] = Workload{
+			Instance:     instance,
+			CleanRounds:  clean,
+			FaultyRounds: faulty,
+			OverheadPct:  overhead,
+		}
+	}
+	plan := func(seed uint64) *cc.FaultPlan { return &cc.FaultPlan{Seed: seed, Drop: drop} }
+
+	// Lapsolver: s-t potentials on a connected GNM graph.
+	{
+		g, err := graph.ConnectedGNM(48, 140, 11)
+		if err != nil {
+			return nil, fmt.Errorf("lapsolver workload: %w", err)
+		}
+		b := linalg.NewVec(48)
+		b[0], b[47] = 1, -1
+		clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+		if err != nil {
+			return nil, fmt.Errorf("lapsolver clean: %w", err)
+		}
+		faulty, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{Faults: plan(101)})
+		if err != nil {
+			return nil, fmt.Errorf("lapsolver faulty: %w", err)
+		}
+		record("lapsolver", "ConnectedGNM n=48 m=140, eps=1e-8, plan seed 101",
+			clean.Rounds.Total, faulty.Rounds.Total)
+	}
+
+	// Maxflow: layered DAG through the IPM.
+	{
+		dg := graph.LayeredDAG(3, 4, 2, 8, 21)
+		s, t := 0, dg.N()-1
+		clean, err := core.MaxFlow(dg, s, t)
+		if err != nil {
+			return nil, fmt.Errorf("maxflow clean: %w", err)
+		}
+		faulty, err := core.MaxFlowWith(dg, s, t, core.RunOptions{Faults: plan(102)})
+		if err != nil {
+			return nil, fmt.Errorf("maxflow faulty: %w", err)
+		}
+		record("maxflow", "LayeredDAG 3x4 U=8, plan seed 102",
+			clean.Rounds.Total, faulty.Rounds.Total)
+	}
+
+	// Min-cost flow: the 6-vertex unit-capacity demand instance.
+	{
+		dg := graph.NewDi(6)
+		dg.MustAddArc(0, 2, 1, 3)
+		dg.MustAddArc(0, 3, 1, 1)
+		dg.MustAddArc(1, 3, 1, 2)
+		dg.MustAddArc(1, 4, 1, 4)
+		dg.MustAddArc(3, 5, 1, 1)
+		dg.MustAddArc(2, 5, 1, 2)
+		dg.MustAddArc(4, 5, 1, 1)
+		sigma := []int64{1, 1, 0, 0, 0, -2}
+		clean, err := core.MinCostFlow(dg, sigma)
+		if err != nil {
+			return nil, fmt.Errorf("mcmf clean: %w", err)
+		}
+		faulty, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{Faults: plan(103)})
+		if err != nil {
+			return nil, fmt.Errorf("mcmf faulty: %w", err)
+		}
+		record("mcmf", "6-vertex unit-capacity demand instance, plan seed 103",
+			clean.Rounds.Total, faulty.Rounds.Total)
+	}
+
+	// Euler: orientation of a random Eulerian graph.
+	{
+		g, err := graph.RandomEulerian(32, 8, 3, 13)
+		if err != nil {
+			return nil, fmt.Errorf("euler workload: %w", err)
+		}
+		clean, err := core.EulerianOrient(g)
+		if err != nil {
+			return nil, fmt.Errorf("euler clean: %w", err)
+		}
+		faulty, err := core.EulerianOrientWith(g, core.RunOptions{Faults: plan(104)})
+		if err != nil {
+			return nil, fmt.Errorf("euler faulty: %w", err)
+		}
+		record("euler", "RandomEulerian n=32, plan seed 104",
+			clean.Rounds.Total, faulty.Rounds.Total)
+	}
+
+	return out, nil
+}

@@ -3,6 +3,8 @@ package cc
 import (
 	"fmt"
 	"testing"
+
+	"lapcc/internal/metrics"
 )
 
 // broadcastStyleStep returns the benchmark workload of the acceptance
@@ -51,6 +53,37 @@ func BenchmarkEngineRun(b *testing.B) {
 			}
 			step := broadcastStyleStep(n, rounds)
 			if _, err := e.Run(step, rounds+1); err != nil { // warm the recycled buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(step, rounds+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunMetrics measures the metrics registry's overhead on
+// the engine hot path: the same n=256 broadcast-style program as
+// BenchmarkEngineRun, once with metrics disabled (the default — one nil
+// check per round) and once recording into a live registry (atomic adds
+// into pre-resolved instruments plus the per-round payload-word scan).
+// Both variants must stay at the engine's steady-state allocation floor.
+func BenchmarkEngineRunMetrics(b *testing.B) {
+	const n = 256
+	const rounds = 4
+	for _, variant := range []string{"disabled", "enabled"} {
+		b.Run(variant, func(b *testing.B) {
+			e := NewEngine(n)
+			e.SetSequential(true)
+			if variant == "enabled" {
+				e.SetMetrics(metrics.NewRegistry())
+			}
+			step := broadcastStyleStep(n, rounds)
+			if _, err := e.Run(step, rounds+1); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()

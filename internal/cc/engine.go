@@ -40,6 +40,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"lapcc/internal/metrics"
 )
 
 // DefaultMaxWords is the default per-message budget in 64-bit words. Three
@@ -106,6 +108,11 @@ type Engine struct {
 	sequential bool
 	workers    int // configured worker count; 0 means GOMAXPROCS
 	observer   func(RoundStats)
+
+	// Metrics binding (see metrics.go). metricsReg, when non-nil, overrides
+	// the package-wide registry; mi caches the resolved instruments.
+	metricsReg *metrics.Registry
+	mi         *ccInstruments
 
 	// Fault-injection state (nil/empty without a plan; see faults.go).
 	faults     *FaultPlan
@@ -416,10 +423,12 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			e.stallBuf[v] = e.stallBuf[v][:0]
 		}
 	}
+	mi := e.bindMetrics()
+	instr := e.observer != nil || mi != nil
 	var wg sync.WaitGroup
 	for r := 0; ; r++ {
 		var t0 time.Time
-		if e.observer != nil {
+		if instr {
 			t0 = time.Now()
 		}
 		if workers == 1 {
@@ -435,7 +444,7 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			wg.Wait()
 		}
 		var stepDur time.Duration
-		if e.observer != nil {
+		if instr {
 			stepDur = time.Since(t0)
 		}
 
@@ -481,7 +490,7 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 		}
 		e.messages += int64(sent)
 
-		if e.observer != nil {
+		if instr {
 			t0 = time.Now()
 		}
 		var roundFaults FaultStats
@@ -495,8 +504,34 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			e.mergeOutboxes(sent)
 		}
 		e.rounds++
+		var mergeDur time.Duration
+		if instr {
+			mergeDur = time.Since(t0)
+		}
+		if mi != nil {
+			// The merged outboxes stay intact until the next round's step
+			// phase, so the payload-word scan here reads settled data. The
+			// whole block is atomic adds over a linear scan: no allocation,
+			// keeping the enabled path as cheap as the observer's.
+			words := 0
+			for _, w := range e.ws {
+				for _, m := range w.outbox {
+					words += int(m.width)
+				}
+			}
+			mi.rounds.Inc()
+			mi.messages.Add(int64(sent))
+			mi.words.Add(int64(words))
+			mi.roundMessages.Observe(int64(sent))
+			mi.roundWords.Observe(int64(words))
+			mi.stepNs.ObserveDuration(stepDur)
+			mi.mergeNs.ObserveDuration(mergeDur)
+			if e.faults != nil {
+				mi.recordFaults(roundFaults)
+			}
+		}
 		if e.observer != nil {
-			e.emitStats(r, sent, busy, stepDur, time.Since(t0), roundFaults)
+			e.emitStats(r, sent, busy, stepDur, mergeDur, roundFaults)
 		}
 	}
 }

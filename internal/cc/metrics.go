@@ -1,0 +1,187 @@
+package cc
+
+import (
+	"sync/atomic"
+
+	"lapcc/internal/metrics"
+)
+
+// The engine's metrics binding follows the same discipline as the observer
+// hook: everything is resolved before the round loop, so the per-round cost
+// with metrics enabled is a handful of atomic adds and with metrics
+// disabled is one nil check. Instruments are registered once per registry
+// and cached by registry identity, never looked up inside Run.
+
+// globalMetrics is the process-wide default registry, used by every Engine
+// without an explicit SetMetrics and by the package-level routing
+// primitives (the reliable-delivery layer), which have no engine to hang a
+// registry on.
+var globalMetrics atomic.Pointer[metrics.Registry]
+
+// globalInstr caches the instruments resolved from globalMetrics so the
+// reliable layer does not re-register on every call.
+var globalInstr atomic.Pointer[ccInstruments]
+
+// SetMetrics installs reg as the process-wide default metrics registry for
+// the cc package: engines without a per-engine registry and the
+// reliable-delivery primitives record into it. A nil reg disables
+// recording. Safe for concurrent use with running engines — an engine picks
+// up the change at its next Run call.
+func SetMetrics(reg *metrics.Registry) {
+	globalMetrics.Store(reg)
+	globalInstr.Store(nil)
+}
+
+// MetricsRegistry returns the registry installed by SetMetrics (nil when
+// disabled).
+func MetricsRegistry() *metrics.Registry { return globalMetrics.Load() }
+
+// ccInstruments is every instrument the cc package records into, resolved
+// once per registry.
+type ccInstruments struct {
+	reg *metrics.Registry
+
+	// Engine per-round accounting.
+	rounds        *metrics.Counter
+	messages      *metrics.Counter
+	words         *metrics.Counter
+	roundMessages *metrics.Histogram
+	roundWords    *metrics.Histogram
+	stepNs        *metrics.Histogram
+	mergeNs       *metrics.Histogram
+
+	// Injected-fault counters (mirror FaultStats).
+	faultDropped    *metrics.Counter
+	faultCorrupted  *metrics.Counter
+	faultDuplicated *metrics.Counter
+	faultDelayed    *metrics.Counter
+	faultStalled    *metrics.Counter
+
+	// Reliable-delivery protocol counters.
+	relWaves         *metrics.Counter
+	relRetransmitted *metrics.Counter
+	relAckRounds     *metrics.Counter
+	relBackoffRounds *metrics.Counter
+	relFailures      *metrics.Counter
+
+	// Routing-primitive accounting (Route/RouteBatched/BroadcastAll — the
+	// model-level primitives the solver stack executes its measured rounds
+	// through).
+	routeRounds   *metrics.Counter
+	routeMessages *metrics.Counter
+	routeWords    *metrics.Counter
+	routeCallMsgs *metrics.Histogram
+	broadcasts    *metrics.Counter
+}
+
+func resolveInstruments(reg *metrics.Registry) *ccInstruments {
+	faultHelp := "Faults injected by the engine's fault plan, by type."
+	return &ccInstruments{
+		reg: reg,
+
+		rounds:        reg.Counter("lapcc_engine_rounds_total", "Communication rounds executed by the clique engine."),
+		messages:      reg.Counter("lapcc_engine_messages_total", "Messages sent on the clique, summed over rounds."),
+		words:         reg.Counter("lapcc_engine_words_total", "Payload words sent on the clique, summed over rounds."),
+		roundMessages: reg.Histogram("lapcc_engine_round_messages", "Messages sent per engine round."),
+		roundWords:    reg.Histogram("lapcc_engine_round_words", "Payload words sent per engine round."),
+		stepNs:        reg.Histogram("lapcc_engine_step_duration_ns", "Wall time of the compute phase per round, nanoseconds."),
+		mergeNs:       reg.Histogram("lapcc_engine_merge_duration_ns", "Wall time of the merge phase per round, nanoseconds."),
+
+		faultDropped:    reg.Counter("lapcc_engine_faults_total", faultHelp, "type", "dropped"),
+		faultCorrupted:  reg.Counter("lapcc_engine_faults_total", faultHelp, "type", "corrupted"),
+		faultDuplicated: reg.Counter("lapcc_engine_faults_total", faultHelp, "type", "duplicated"),
+		faultDelayed:    reg.Counter("lapcc_engine_faults_total", faultHelp, "type", "delayed"),
+		faultStalled:    reg.Counter("lapcc_engine_faults_total", faultHelp, "type", "stalled_steps"),
+
+		relWaves:         reg.Counter("lapcc_reliable_waves_total", "Transmission waves (first sends plus retransmit waves) of the reliable-delivery layer."),
+		relRetransmitted: reg.Counter("lapcc_reliable_retransmitted_packets_total", "Packets retransmitted after a missing acknowledgement."),
+		relAckRounds:     reg.Counter("lapcc_reliable_ack_rounds_total", "Acknowledgement rounds spent by the reliable-delivery layer."),
+		relBackoffRounds: reg.Counter("lapcc_reliable_backoff_rounds_total", "Backoff rounds waited out by the reliable-delivery layer."),
+		relFailures:      reg.Counter("lapcc_reliable_delivery_failures_total", "Reliable deliveries abandoned after exhausting retries."),
+
+		routeRounds:   reg.Counter("lapcc_route_rounds_total", "Measured clique rounds executed by the Lenzen routing primitives."),
+		routeMessages: reg.Counter("lapcc_route_messages_total", "Link messages sent by the routing primitives."),
+		routeWords:    reg.Counter("lapcc_route_words_total", "Payload words sent by the routing primitives."),
+		routeCallMsgs: reg.Histogram("lapcc_route_call_messages", "Link messages per routing-primitive call."),
+		broadcasts:    reg.Counter("lapcc_route_broadcasts_total", "All-to-all broadcast rounds executed."),
+	}
+}
+
+// instrumentsFor returns the cached instruments for the global registry,
+// resolving them on first use after SetMetrics. Returns nil when metrics
+// are disabled.
+func instrumentsFor(reg *metrics.Registry) *ccInstruments {
+	if reg == nil {
+		return nil
+	}
+	if in := globalInstr.Load(); in != nil && in.reg == reg {
+		return in
+	}
+	in := resolveInstruments(reg)
+	globalInstr.Store(in)
+	return in
+}
+
+// SetMetrics pins reg as this engine's registry, overriding the package
+// default for this engine only (nil reverts to the package default). Like
+// SetObserver, call it before Run.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	e.metricsReg = reg
+	e.mi = nil
+}
+
+// bindMetrics resolves the engine's instruments for this Run call: the
+// pinned registry if set, the package default otherwise. The resolution is
+// cached by registry identity so repeated Runs do no registry lookups.
+func (e *Engine) bindMetrics() *ccInstruments {
+	reg := e.metricsReg
+	if reg == nil {
+		reg = globalMetrics.Load()
+	}
+	if reg == nil {
+		e.mi = nil
+		return nil
+	}
+	if e.mi == nil || e.mi.reg != reg {
+		e.mi = resolveInstruments(reg)
+	}
+	return e.mi
+}
+
+// recordFaults mirrors one round's FaultStats into the fault counters.
+func (mi *ccInstruments) recordFaults(f FaultStats) {
+	mi.faultDropped.Add(f.Dropped)
+	mi.faultCorrupted.Add(f.Corrupted)
+	mi.faultDuplicated.Add(f.Duplicated)
+	mi.faultDelayed.Add(f.Delayed)
+	mi.faultStalled.Add(f.StalledSteps)
+}
+
+// recordRoute mirrors one Route call into the routing-primitive counters.
+// A nil receiver (metrics disabled) records nothing.
+func (mi *ccInstruments) recordRoute(res RouteResult, words int64) {
+	if mi == nil {
+		return
+	}
+	mi.routeRounds.Add(res.Executed)
+	mi.routeMessages.Add(res.LinkMessages)
+	mi.routeWords.Add(words)
+	mi.routeCallMsgs.Observe(res.LinkMessages)
+}
+
+// recordReliable mirrors one public reliable-delivery call's aggregate
+// result into the protocol counters. Called with the global registry's
+// instruments; a nil receiver (metrics disabled) records nothing.
+func (mi *ccInstruments) recordReliable(agg ReliableResult, failed bool) {
+	if mi == nil {
+		return
+	}
+	mi.relWaves.Add(int64(agg.Attempts))
+	mi.relRetransmitted.Add(agg.Retransmitted)
+	mi.relAckRounds.Add(agg.AckRounds)
+	mi.relBackoffRounds.Add(agg.BackoffRounds)
+	if failed {
+		mi.relFailures.Inc()
+	}
+	mi.recordFaults(agg.Faults)
+}

@@ -1,0 +1,171 @@
+package cc
+
+import (
+	"testing"
+
+	"lapcc/internal/metrics"
+	"lapcc/internal/rounds"
+)
+
+// counterValue reads a counter's current value from a snapshot-independent
+// lookup (the registry returns the same instrument it recorded into).
+func counterValue(reg *metrics.Registry, name string, labels ...string) int64 {
+	return reg.Counter(name, "", labels...).Value()
+}
+
+func TestEngineMetricsPerRound(t *testing.T) {
+	const n, rounds = 16, 4
+	reg := metrics.NewRegistry()
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetMetrics(reg)
+	got, err := e.Run(broadcastStyleStep(n, rounds), rounds+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(reg, "lapcc_engine_rounds_total"); v != got {
+		t.Fatalf("rounds_total = %d, want %d", v, got)
+	}
+	wantMsgs := int64(rounds * n * (n - 1))
+	if v := counterValue(reg, "lapcc_engine_messages_total"); v != wantMsgs {
+		t.Fatalf("messages_total = %d, want %d", v, wantMsgs)
+	}
+	// broadcastStyleStep sends 3-word payloads.
+	if v := counterValue(reg, "lapcc_engine_words_total"); v != 3*wantMsgs {
+		t.Fatalf("words_total = %d, want %d", v, 3*wantMsgs)
+	}
+	h := reg.Histogram("lapcc_engine_round_messages", "")
+	if h.Count() != got {
+		t.Fatalf("round_messages histogram count = %d, want %d", h.Count(), got)
+	}
+	if h.Sum() != wantMsgs {
+		t.Fatalf("round_messages histogram sum = %d, want %d", h.Sum(), wantMsgs)
+	}
+	if reg.Histogram("lapcc_engine_step_duration_ns", "").Count() != got {
+		t.Fatal("step-duration histogram missing observations")
+	}
+}
+
+func TestEngineMetricsFaultCounters(t *testing.T) {
+	const n = 16
+	reg := metrics.NewRegistry()
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetMetrics(reg)
+	e.SetFaults(&FaultPlan{Seed: 7, Drop: 0.2})
+	if _, err := e.Run(broadcastStyleStep(n, 4), 8); err != nil {
+		t.Fatal(err)
+	}
+	fs := e.FaultStats()
+	if fs.Dropped == 0 {
+		t.Fatal("fault plan injected no drops; test needs a higher rate")
+	}
+	if v := counterValue(reg, "lapcc_engine_faults_total", "type", "dropped"); v != fs.Dropped {
+		t.Fatalf("dropped counter = %d, want %d", v, fs.Dropped)
+	}
+}
+
+func TestEngineUsesGlobalRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	if MetricsRegistry() != reg {
+		t.Fatal("MetricsRegistry did not return the installed registry")
+	}
+	e := NewEngine(8)
+	e.SetSequential(true)
+	got, err := e.Run(broadcastStyleStep(8, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(reg, "lapcc_engine_rounds_total"); v != got {
+		t.Fatalf("global registry rounds_total = %d, want %d", v, got)
+	}
+	// A pinned registry overrides the global one.
+	pinned := metrics.NewRegistry()
+	e2 := NewEngine(8)
+	e2.SetSequential(true)
+	e2.SetMetrics(pinned)
+	if _, err := e2.Run(broadcastStyleStep(8, 2), 4); err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(pinned, "lapcc_engine_rounds_total") == 0 {
+		t.Fatal("pinned registry saw no rounds")
+	}
+	if v := counterValue(reg, "lapcc_engine_rounds_total"); v != got {
+		t.Fatalf("global registry advanced by a pinned engine: %d != %d", v, got)
+	}
+}
+
+// engineAllocsPerRun measures steady-state allocations of a warm engine
+// running the n=64 broadcast workload with the given registry binding.
+func engineAllocsPerRun(t *testing.T, reg *metrics.Registry) float64 {
+	t.Helper()
+	const n = 64
+	e := NewEngine(n)
+	e.SetSequential(true)
+	e.SetMetrics(reg)
+	step := broadcastStyleStep(n, 4)
+	run := func() {
+		if _, err := e.Run(step, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the recycled buffers (and resolve instruments)
+	return testing.AllocsPerRun(20, run)
+}
+
+// TestEngineMetricsZeroAllocOverhead pins the acceptance criterion: metrics
+// recording is atomic adds into pre-resolved instruments, so enabling a
+// registry adds exactly zero heap allocations to the engine hot path, and
+// the disabled path stays at the seed's steady-state noise floor (the same
+// "(close to) zero" bound TestEngineSteadyStateAllocations has pinned since
+// PR 1 — on some hosts the runtime itself contributes a few objects per
+// measured run, which is why the disabled figure is bounded rather than
+// compared to a literal 0).
+func TestEngineMetricsZeroAllocOverhead(t *testing.T) {
+	disabled := engineAllocsPerRun(t, nil)
+	enabled := engineAllocsPerRun(t, metrics.NewRegistry())
+	if disabled > 16 {
+		t.Fatalf("metrics-disabled steady-state Run allocates %.0f objects; want ~0", disabled)
+	}
+	if enabled > disabled {
+		t.Fatalf("metrics enabled allocates %.0f objects vs %.0f disabled; want zero overhead", enabled, disabled)
+	}
+}
+
+func TestReliableRouteRecordsProtocolCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	const n = 8
+	var packets []Packet
+	for s := 0; s < n; s++ {
+		packets = append(packets, Packet{Src: s, Dst: (s + 1) % n, Data: []int64{int64(s)}})
+	}
+	plan := &FaultPlan{Seed: 5, Drop: 0.3}
+	_, res, err := ReliableRoute(n, packets, rounds.New(), "t", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counterValue(reg, "lapcc_reliable_waves_total"); v != int64(res.Attempts) {
+		t.Fatalf("waves_total = %d, want %d", v, res.Attempts)
+	}
+	if v := counterValue(reg, "lapcc_reliable_retransmitted_packets_total"); v != res.Retransmitted {
+		t.Fatalf("retransmitted_packets_total = %d, want %d", v, res.Retransmitted)
+	}
+	if v := counterValue(reg, "lapcc_reliable_ack_rounds_total"); v != res.AckRounds {
+		t.Fatalf("ack_rounds_total = %d, want %d", v, res.AckRounds)
+	}
+	if res.Attempts < 2 {
+		t.Fatal("drop plan forced no retransmission; test needs a higher rate")
+	}
+	// A clean plan must record nothing (the fast path delegates).
+	before := counterValue(reg, "lapcc_reliable_waves_total")
+	if _, _, err := ReliableRoute(n, packets, rounds.New(), "t2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(reg, "lapcc_reliable_waves_total") != before {
+		t.Fatal("clean-path ReliableRoute recorded protocol counters")
+	}
+}

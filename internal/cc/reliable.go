@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -103,14 +104,22 @@ type routerFunc func(n int, packets []Packet, ledger *rounds.Ledger, tag string)
 // packet set must satisfy the Lenzen admissibility condition, exactly as
 // for Route.
 func ReliableRoute(n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
-	return reliableDeliver(n, packets, ledger, tag, plan, Route)
+	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, Route)
+	if plan.messageFates() {
+		instrumentsFor(globalMetrics.Load()).recordReliable(res, errors.Is(err, ErrDeliveryFailed))
+	}
+	return out, res, err
 }
 
 // ReliableRouteBatched is RouteBatched with the same delivery guarantees as
 // ReliableRoute; arbitrary packet sets are split into admissible batches per
 // wave.
 func ReliableRouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
-	return reliableDeliver(n, packets, ledger, tag, plan, RouteBatched)
+	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, RouteBatched)
+	if plan.messageFates() {
+		instrumentsFor(globalMetrics.Load()).recordReliable(res, errors.Is(err, ErrDeliveryFailed))
+	}
+	return out, res, err
 }
 
 func reliableDeliver(n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan, route routerFunc) ([][]Packet, ReliableResult, error) {
@@ -314,6 +323,7 @@ func ReliableBroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag stri
 	if len(failed) > 0 {
 		_, res, err := reliableDeliver(n, failed, ledger, tag+"-retry", plan, RouteBatched)
 		if err != nil {
+			instrumentsFor(globalMetrics.Load()).recordReliable(agg, errors.Is(err, ErrDeliveryFailed))
 			return nil, agg, err
 		}
 		agg.RouteResult = res.RouteResult
@@ -323,5 +333,6 @@ func ReliableBroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag stri
 		agg.BackoffRounds += res.BackoffRounds
 		agg.Faults.add(res.Faults)
 	}
+	instrumentsFor(globalMetrics.Load()).recordReliable(agg, false)
 	return vals, agg, nil
 }

@@ -239,12 +239,16 @@ func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Pack
 	if ledger != nil && res.Charged > 0 {
 		ledger.Add(tag, rounds.Measured, res.Charged, rounds.CiteLenzen)
 	}
-	if ledger != nil && ledger.HasSink() {
+	mi := instrumentsFor(globalMetrics.Load())
+	if mi != nil || (ledger != nil && ledger.HasSink()) {
 		var words int64
 		for _, p := range packets {
 			words += 1 + int64(len(p.Data))
 		}
-		ledger.AddTraffic(tag, res.LinkMessages, words)
+		if ledger != nil && ledger.HasSink() {
+			ledger.AddTraffic(tag, res.LinkMessages, words)
+		}
+		mi.recordRoute(res, words)
 	}
 	// Deterministic per-destination order (by source, then payload) so the
 	// overall simulation is reproducible even though the model itself
@@ -279,6 +283,12 @@ func BroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag string) ([]i
 	}
 	if ledger != nil {
 		ledger.Add(tag, rounds.Measured, 1, "all-to-all broadcast, 1 round")
+	}
+	if mi := instrumentsFor(globalMetrics.Load()); mi != nil {
+		mi.broadcasts.Inc()
+		mi.routeRounds.Inc()
+		mi.routeMessages.Add(int64(n) * int64(n-1))
+		mi.routeWords.Add(int64(n) * int64(n-1))
 	}
 	return append([]int64(nil), values...), nil
 }

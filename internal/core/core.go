@@ -23,6 +23,7 @@ import (
 	"lapcc/internal/linalg"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
 	"lapcc/internal/trace"
@@ -43,6 +44,11 @@ type RunOptions struct {
 	// Exhaustion aborts at the next phase boundary with an error unwrapping
 	// to rounds.ErrBudgetExceeded that carries the partial round stats.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live counters and histograms from every
+	// stage of the run, plus a mirror of the ledger's cost stream — the
+	// registry the debug HTTP endpoint exposes (see internal/metrics). A
+	// nil registry records nothing and costs nothing.
+	Metrics *metrics.Registry
 }
 
 // RoundReport summarizes where an algorithm's congested-clique rounds went.
@@ -93,7 +99,7 @@ func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.T
 func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions) (*LaplacianResult, error) {
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -198,7 +204,7 @@ func SparsifyTraced(g *graph.Graph, tr *trace.Tracer) (*SparsifyResult, error) {
 func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	led := rounds.New()
 	res, err := sparsify.Sparsify(g, sparsify.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -238,7 +244,7 @@ func EulerianOrientTraced(g *graph.Graph, tr *trace.Tracer) (*EulerianResult, er
 func EulerianOrientWith(g *graph.Graph, ro RunOptions) (*EulerianResult, error) {
 	led := rounds.New()
 	orient, st, err := euler.Orient(g, nil, euler.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -270,7 +276,7 @@ func RoundFlowTraced(dg *graph.DiGraph, f []float64, s, t int, delta float64, us
 func RoundFlowWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, ro RunOptions) (*RoundFlowResult, error) {
 	led := rounds.New()
 	out, err := flowround.RoundWith(dg, f, s, t, delta, useCosts, flowround.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -305,7 +311,7 @@ func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, er
 	led := rounds.New()
 	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{
 		Ledger: led, FastSolve: true,
-		Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -348,7 +354,7 @@ func MinCostFlowTraced(dg *graph.DiGraph, sigma []int64, tr *trace.Tracer) (*Min
 func MinCostFlowWith(dg *graph.DiGraph, sigma []int64, ro RunOptions) (*MinCostFlowResult, error) {
 	led := rounds.New()
 	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
+)
+
+// counter reads a registered counter's value (0 if never touched).
+func counter(reg *metrics.Registry, name string, labels ...string) int64 {
+	return reg.Counter(name, "", labels...).Value()
+}
+
+// TestFacadeMetricsEndToEnd drives the facade entry points with one shared
+// registry and checks that every stage reported into it: solver counters,
+// stage counters, and the ledger mirror matching the facade's own report.
+func TestFacadeMetricsEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+
+	g, err := graph.RandomRegular(48, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(48)
+	b[0], b[47] = 1, -1
+	lres, err := SolveLaplacianWith(g, b, 1e-8, RunOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(reg, "lapcc_lapsolver_solves_total"); got != 1 {
+		t.Fatalf("lapsolver solves counter = %d, want 1", got)
+	}
+	if got := counter(reg, "lapcc_lapsolver_cheby_iterations_total"); got != int64(lres.Iterations) {
+		t.Fatalf("cheby iterations counter = %d, want %d", got, lres.Iterations)
+	}
+	if got := counter(reg, "lapcc_sparsify_builds_total"); got == 0 {
+		t.Fatal("sparsify build not recorded")
+	}
+	measured := counter(reg, "lapcc_ledger_rounds_total", "kind", "measured")
+	charged := counter(reg, "lapcc_ledger_rounds_total", "kind", "charged")
+	if measured != lres.Rounds.Measured || charged != lres.Rounds.Charged {
+		t.Fatalf("ledger mirror (%d measured, %d charged) disagrees with report %+v",
+			measured, charged, lres.Rounds)
+	}
+
+	eg, err := graph.RandomEulerian(32, 6, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := EulerianOrientWith(eg, RunOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(reg, "lapcc_euler_orientations_total"); got != 1 {
+		t.Fatalf("euler orientations counter = %d, want 1", got)
+	}
+	if got := counter(reg, "lapcc_euler_iterations_total"); got != int64(eres.Iterations) {
+		t.Fatalf("euler iterations counter = %d, want %d", got, eres.Iterations)
+	}
+
+	dg := graph.LayeredDAG(3, 3, 2, 4, 9)
+	mres, err := MaxFlowWith(dg, 0, dg.N()-1, RunOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(reg, "lapcc_maxflow_runs_total"); got != 1 {
+		t.Fatalf("maxflow runs counter = %d, want 1", got)
+	}
+	if got := counter(reg, "lapcc_maxflow_ipm_iterations_total"); got != int64(mres.IPMIterations) {
+		t.Fatalf("maxflow IPM iterations counter = %d, want %d", got, mres.IPMIterations)
+	}
+	if mres.IPMIterations > 0 && counter(reg, "lapcc_electrical_solves_total") == 0 {
+		t.Fatal("electrical session solves not recorded")
+	}
+
+	// Ledger mirrors stay per-run: the three runs used distinct ledgers, and
+	// the shared registry must have accumulated all of them.
+	wantMeasured := lres.Rounds.Measured + eres.Rounds.Measured + mres.Rounds.Measured
+	if got := counter(reg, "lapcc_ledger_rounds_total", "kind", "measured"); got != wantMeasured {
+		t.Fatalf("accumulated measured mirror = %d, want %d", got, wantMeasured)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/lapsolver"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -49,6 +50,12 @@ type Session struct {
 	wbuf  []float64        // sanitized-weight scratch, reused across Reweights
 	cg    linalg.CGScratch // CG work vectors, reused across Potentials calls
 	stats SessionStats
+
+	// Pre-resolved counters (nil without a registry) so the per-solve path
+	// never touches the registry mutex.
+	mSolves         *metrics.Counter
+	mReweights      *metrics.Counter
+	mDenseFallbacks *metrics.Counter
 }
 
 // SessionOptions configures NewSession.
@@ -78,6 +85,11 @@ type SessionOptions struct {
 	// the historical fail-with-error behavior (and propagates to the
 	// Full-mode solver as NoEscalation).
 	NoFallback bool
+	// Metrics, if non-nil, receives live session counters (solves,
+	// reweights, dense fallbacks) and is propagated to the Full-mode
+	// solver when its own Metrics is unset. A nil registry records nothing
+	// and costs nothing.
+	Metrics *metrics.Registry
 }
 
 // SessionStats counts session activity.
@@ -105,12 +117,21 @@ func NewSession(g *graph.Graph, opts SessionOptions) (*Session, error) {
 	s.precond = linalg.NewVec(g.N())
 	s.refreshPrecond()
 	s.opts.Budget.BindIfUnbound(opts.Solver.Ledger)
+	if reg := opts.Metrics; reg != nil {
+		reg.MirrorLedger(opts.Solver.Ledger)
+		s.mSolves = reg.Counter("lapcc_electrical_solves_total", "Electrical session Potentials calls.")
+		s.mReweights = reg.Counter("lapcc_electrical_reweights_total", "Electrical session Reweight calls.")
+		s.mDenseFallbacks = reg.Counter("lapcc_electrical_dense_fallbacks_total", "Potentials calls rescued by the exact dense fallback.")
+	}
 	if opts.Full {
 		if opts.Trace != nil && s.opts.Solver.Trace == nil {
 			s.opts.Solver.Trace = opts.Trace
 		}
 		if opts.Budget != nil && s.opts.Solver.Budget == nil {
 			s.opts.Solver.Budget = opts.Budget
+		}
+		if opts.Metrics != nil && s.opts.Solver.Metrics == nil {
+			s.opts.Solver.Metrics = opts.Metrics
 		}
 		if opts.NoFallback {
 			s.opts.Solver.NoEscalation = true
@@ -160,6 +181,7 @@ func (s *Session) Reweight(w []float64) error {
 		return fmt.Errorf("electrical: session reweight with %d weights for %d edges", len(w), s.g.M())
 	}
 	s.stats.Reweights++
+	s.mReweights.Inc()
 	if s.wbuf == nil {
 		s.wbuf = make([]float64, len(w))
 	}
@@ -192,6 +214,7 @@ func (s *Session) Potentials(b linalg.Vec, eps float64, slot string) (linalg.Vec
 		return nil, fmt.Errorf("electrical: session potentials: %w", err)
 	}
 	s.stats.Solves++
+	s.mSolves.Inc()
 	if s.solver != nil {
 		x, _, err := s.solver.Solve(b, eps)
 		if err != nil {
@@ -242,6 +265,7 @@ func (s *Session) Potentials(b linalg.Vec, eps float64, slot string) (linalg.Vec
 		sp.End()
 		if err == nil {
 			s.stats.DenseFallbacks++
+			s.mDenseFallbacks.Inc()
 		}
 	}
 	if err != nil {

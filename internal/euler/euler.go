@@ -46,6 +46,7 @@ import (
 	"lapcc/internal/cc"
 	"lapcc/internal/ccalgo"
 	"lapcc/internal/graph"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -97,6 +98,10 @@ type Options struct {
 	// exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live counters (orientations,
+	// contraction iterations, dead probes) and a mirror of the ledger's
+	// cost stream. A nil registry records nothing and costs nothing.
+	Metrics *metrics.Registry
 }
 
 // Stats reports the execution of one orientation.
@@ -120,11 +125,17 @@ type Stats struct {
 // then has non-positive total cost. Rounds are recorded in opts.Ledger
 // (which may be nil).
 func Orient(g *graph.Graph, dirCost []int64, opts Options) ([]bool, Stats, error) {
+	opts.Metrics.MirrorLedger(opts.Ledger)
 	snap := rounds.Snap(opts.Ledger)
 	spansBefore := opts.Trace.SpanCount()
 	orient, stats, err := orientImpl(g, dirCost, opts)
 	stats.Stats = snap.Stats()
 	stats.Spans = opts.Trace.SpanCount() - spansBefore
+	if reg := opts.Metrics; reg != nil && err == nil {
+		reg.Counter("lapcc_euler_orientations_total", "Eulerian orientations computed.").Inc()
+		reg.Counter("lapcc_euler_iterations_total", "Ring-contraction iterations.").Add(int64(stats.Iterations))
+		reg.Counter("lapcc_euler_dead_probes_total", "Randomized-mode probes past the hop cap.").Add(int64(stats.DeadProbes))
+	}
 	return orient, stats, err
 }
 

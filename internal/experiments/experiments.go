@@ -1,5 +1,5 @@
 // Package experiments contains the generators for every EXPERIMENTS.md
-// table (E1-E13): each experiment reproduces one quantitative claim of the
+// table (E1-E14): each experiment reproduces one quantitative claim of the
 // paper as a scaling measurement. The cmd/experiments CLI is a thin wrapper
 // around this package; tests run the quick variants against a buffer.
 package experiments
@@ -19,10 +19,60 @@ import (
 	"lapcc/internal/linalg"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
 	"lapcc/internal/trace"
 )
+
+// Config carries the cross-cutting robustness and observability knobs of
+// cmd/experiments: when set, every solver invocation of every experiment
+// runs under the given fault plan, a fresh budget parsed from BudgetSpec,
+// and/or reports into the given metrics registry. The zero value is the
+// historical behavior (clean runs, no budget, no registry).
+type Config struct {
+	// Faults is applied to every solver invocation (experiments with their
+	// own fault sweeps, like E13, keep their own plans).
+	Faults *cc.FaultPlan
+	// BudgetSpec is parsed into a fresh budget per solver invocation
+	// (budgets are stateful: sharing one would charge all runs jointly).
+	// See rounds.ParseBudget for the syntax.
+	BudgetSpec string
+	// Metrics, if non-nil, receives live counters from every solver run.
+	Metrics *metrics.Registry
+}
+
+var config Config
+
+// Configure sets the package-wide run configuration. A non-empty BudgetSpec
+// is validated here so the CLI fails fast on a typo.
+func Configure(c Config) error {
+	if c.BudgetSpec != "" {
+		if _, err := rounds.ParseBudget(c.BudgetSpec); err != nil {
+			return err
+		}
+	}
+	config = c
+	return nil
+}
+
+// expFaults returns the configured fault plan (nil for clean runs).
+func expFaults() *cc.FaultPlan { return config.Faults }
+
+// expBudget returns a fresh budget per solver invocation, or nil.
+func expBudget() *rounds.Budget {
+	if config.BudgetSpec == "" {
+		return nil
+	}
+	b, err := rounds.ParseBudget(config.BudgetSpec)
+	if err != nil {
+		return nil // validated in Configure; unreachable
+	}
+	return b
+}
+
+// expMetrics returns the configured metrics registry (nil records nothing).
+func expMetrics() *metrics.Registry { return config.Metrics }
 
 // Experiment is one reproducible table generator.
 type Experiment struct {
@@ -50,6 +100,7 @@ func All() []Experiment {
 		{"E11", "E11 — trace profile: per-phase round attribution across the algorithm stack", e11TraceProfile},
 		{"E12", "E12 — session layer: preprocess once, solve many (throughput vs #RHS)", e12Session},
 		{"E13", "E13 — fault injection: reliable-delivery round overhead vs drop rate", e13FaultSweep},
+		{"E14", "E14 — live metrics: /metrics scrape of retransmission counters vs drop rate", e14LiveMetrics},
 	}
 }
 
@@ -101,7 +152,7 @@ func e1Sparsifier(w io.Writer, quick bool) error {
 
 func e1Row(w io.Writer, name string, g *graph.Graph) error {
 	led := rounds.New()
-	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led})
+	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 	if err != nil {
 		return err
 	}
@@ -133,7 +184,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 			return err
 		}
 		led := rounds.New()
-		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led})
+		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -155,7 +206,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%10s %12s %12s %16s\n", "eps", "rounds", "iters", "rounds/ln(1/eps)")
 	for _, eps := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10} {
 		led := rounds.New()
-		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led})
+		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -177,7 +228,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 		}
 		b := twoPole(n)
 		detLed := rounds.New()
-		det, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: detLed})
+		det, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: detLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -187,7 +238,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 			return err
 		}
 		rndLed := rounds.New()
-		rnd, err := lapsolver.NewSolver(g, lapsolver.Options{Randomized: true, RandomSeed: int64(n), Ledger: rndLed})
+		rnd, err := lapsolver.NewSolver(g, lapsolver.Options{Randomized: true, RandomSeed: int64(n), Ledger: rndLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -226,7 +277,7 @@ func e3Eulerian(w io.Writer, quick bool) error {
 			return err
 		}
 		led := rounds.New()
-		_, st, err := euler.Orient(g, nil, euler.Options{Ledger: led})
+		_, st, err := euler.Orient(g, nil, euler.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -246,12 +297,12 @@ func e3Eulerian(w io.Writer, quick bool) error {
 			return err
 		}
 		detLed := rounds.New()
-		_, detStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Deterministic, Ledger: detLed})
+		_, detStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Deterministic, Ledger: detLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
 		rndLed := rounds.New()
-		_, rndStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Randomized, Seed: int64(n), Ledger: rndLed})
+		_, rndStats, err := euler.Orient(g, nil, euler.Options{Mode: euler.Randomized, Seed: int64(n), Ledger: rndLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -351,7 +402,7 @@ func e5MaxFlow(w io.Writer, quick bool) error {
 func e5Row(w io.Writer, dg *graph.DiGraph) error {
 	s, t := 0, dg.N()-1
 	led := rounds.New()
-	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true})
+	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 	if err != nil {
 		return err
 	}
@@ -393,7 +444,7 @@ func e6MinCostFlow(w io.Writer, quick bool) error {
 
 func e6Row(w io.Writer, dg *graph.DiGraph, sigma []int64) error {
 	led := rounds.New()
-	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led})
+	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 	if err != nil {
 		return err
 	}
@@ -449,7 +500,7 @@ func e7Baselines(w io.Writer, quick bool) error {
 		dg := graph.LayeredDAG(3, 4, 2, u, 23)
 		s, t := 0, dg.N()-1
 		led := rounds.New()
-		res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true})
+		res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -563,7 +614,7 @@ func e9RelatedWork(w io.Writer, quick bool) error {
 				return err
 			}
 			led := rounds.New()
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			if err != nil {
 				return err
 			}
@@ -769,7 +820,7 @@ func e11Workloads(quick bool) []struct {
 				return err
 			}
 			led := rounds.New()
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			if err != nil {
 				return err
 			}
@@ -782,7 +833,7 @@ func e11Workloads(quick bool) []struct {
 				return err
 			}
 			led := rounds.New()
-			_, err = sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr})
+			_, err = sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			return err
 		}},
 		{"euler", func(tr *trace.Tracer) error {
@@ -791,25 +842,25 @@ func e11Workloads(quick bool) []struct {
 				return err
 			}
 			led := rounds.New()
-			_, _, err = euler.Orient(g, nil, euler.Options{Ledger: led, Trace: tr})
+			_, _, err = euler.Orient(g, nil, euler.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			return err
 		}},
 		{"flowround", func(tr *trace.Tracer) error {
 			dg, f, s, t := pathFlows(24, 10, 1.0/256, 31)
 			led := rounds.New()
-			_, err := flowround.RoundWith(dg, f, s, t, 1.0/256, false, flowround.Options{Ledger: led, Trace: tr})
+			_, err := flowround.RoundWith(dg, f, s, t, 1.0/256, false, flowround.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			return err
 		}},
 		{"maxflow", func(tr *trace.Tracer) error {
 			dg := graph.LayeredDAG(3, 4, 2, 8, 17)
 			led := rounds.New()
-			_, err := maxflow.MaxFlow(dg, 0, dg.N()-1, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr})
+			_, err := maxflow.MaxFlow(dg, 0, dg.N()-1, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			return err
 		}},
 		{"mcmf", func(tr *trace.Tracer) error {
 			dg, sigma := assignment(4, 4, 3, 16, 5)
 			led := rounds.New()
-			_, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr})
+			_, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			return err
 		}},
 	}
@@ -863,7 +914,7 @@ func e12Session(w io.Writer, quick bool) error {
 		"#rhs", "session s/sec", "rebuild s/sec", "speedup", "sess charged", "fresh charged")
 	for _, k := range ks {
 		sessLed := rounds.New()
-		sess, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: sessLed, WarmStart: true})
+		sess, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: sessLed, WarmStart: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 		if err != nil {
 			return err
 		}
@@ -878,7 +929,7 @@ func e12Session(w io.Writer, quick bool) error {
 		freshLed := rounds.New()
 		start = time.Now()
 		for i := 0; i < k; i++ {
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: freshLed})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: freshLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
 			if err != nil {
 				return err
 			}

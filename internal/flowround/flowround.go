@@ -17,6 +17,7 @@ import (
 	"lapcc/internal/cc"
 	"lapcc/internal/euler"
 	"lapcc/internal/graph"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	// Budget, if non-nil, is checked at every scaling level; exhaustion
 	// aborts with an error unwrapping to rounds.ErrBudgetExceeded.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live counters (rounding calls, scaling
+	// levels) and a mirror of the ledger's cost stream, and is propagated
+	// to each level's Eulerian orientation. A nil registry records nothing
+	// and costs nothing.
+	Metrics *metrics.Registry
 }
 
 // forcedCost is the sentinel cost forcing the virtual (t,s) arc to be a
@@ -74,6 +80,7 @@ func Round(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts boo
 func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, opts Options) ([]int64, error) {
 	led, tr := opts.Ledger, opts.Trace
 	tr.Attach(led)
+	opts.Metrics.MirrorLedger(led)
 	sp := tr.Start("flowround")
 	defer sp.End()
 	if len(f) != dg.M() {
@@ -120,6 +127,10 @@ func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 	}
 
 	levels := int(math.Round(math.Log2(1 / delta)))
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("lapcc_flowround_rounds_total", "Flow-rounding calls.").Inc()
+		reg.Counter("lapcc_flowround_levels_total", "Scaling levels executed.").Add(int64(levels))
+	}
 	opts.Budget.BindIfUnbound(led)
 	for level := 0; level < levels; level++ {
 		if err := opts.Budget.Check(fmt.Sprintf("flowround-level-%d", level)); err != nil {
@@ -162,7 +173,7 @@ func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 			}
 			orient, _, err := euler.Orient(g, dirCost, euler.Options{
 				Mode: opts.EulerMode, Seed: opts.EulerSeed, Ledger: led, Trace: tr,
-				Faults: opts.Faults, Budget: opts.Budget,
+				Faults: opts.Faults, Budget: opts.Budget, Metrics: opts.Metrics,
 			})
 			if err != nil {
 				lsp.End()

@@ -24,6 +24,7 @@ import (
 	"lapcc/internal/cc"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
 	"lapcc/internal/trace"
@@ -87,6 +88,12 @@ type Options struct {
 	// rounds.ErrBudgetExceeded carrying the partial stats. A nil budget
 	// never limits anything.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live phase counters (solves, Chebyshev
+	// iterations, kappa attempts, escalations, dense fallbacks) and a
+	// mirror of the ledger's cost stream; propagated to Sparsify.Metrics
+	// when that field is unset. A nil registry records nothing and costs
+	// nothing.
+	Metrics *metrics.Registry
 	// NoEscalation disables the guarded-recovery machinery — both the
 	// Chebyshev stagnation window (so every attempt runs its full
 	// prescribed iteration count) and the recovery ladder (stagnation →
@@ -117,6 +124,9 @@ func (o *Options) defaults() {
 	if o.Faults != nil && o.Sparsify.Faults == nil {
 		o.Sparsify.Faults = o.Faults
 	}
+	if o.Metrics != nil && o.Sparsify.Metrics == nil {
+		o.Sparsify.Metrics = o.Metrics
+	}
 }
 
 // Solver solves systems L_G x = b to relative precision eps in the L_G
@@ -139,6 +149,46 @@ type Solver struct {
 	warmX     linalg.Vec // potentials of the last accepted solve
 	warmB     linalg.Vec // right-hand side of the last accepted solve
 	warmKappa float64    // kappa accepted by the last solve (0 = none)
+
+	mi *lapMetrics // pre-resolved instruments (nil with metrics disabled)
+}
+
+// lapMetrics is the solver's pre-resolved instrument set; Solve records
+// into it without touching the registry (it is called once per IPM
+// iteration in the flow solvers).
+type lapMetrics struct {
+	solves         *metrics.Counter
+	iterations     *metrics.Counter
+	attempts       *metrics.Counter
+	escalations    *metrics.Counter
+	denseFallbacks *metrics.Counter
+}
+
+func newLapMetrics(reg *metrics.Registry) *lapMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &lapMetrics{
+		solves:         reg.Counter("lapcc_lapsolver_solves_total", "Laplacian Solve calls completed."),
+		iterations:     reg.Counter("lapcc_lapsolver_cheby_iterations_total", "Preconditioned Chebyshev iterations across all solves."),
+		attempts:       reg.Counter("lapcc_lapsolver_kappa_attempts_total", "Kappa guesses tried across all solves."),
+		escalations:    reg.Counter("lapcc_lapsolver_escalations_total", "Guarded-recovery escalations (tolerance tightenings and dense fallbacks)."),
+		denseFallbacks: reg.Counter("lapcc_lapsolver_dense_fallbacks_total", "Solves rescued by the exact dense fallback."),
+	}
+}
+
+// record mirrors one Solve call's stats; nil-safe.
+func (m *lapMetrics) record(stats Stats) {
+	if m == nil {
+		return
+	}
+	m.solves.Inc()
+	m.iterations.Add(int64(stats.Iterations))
+	m.attempts.Add(int64(stats.Attempts))
+	m.escalations.Add(int64(stats.Escalations))
+	if stats.DenseFallback {
+		m.denseFallbacks.Inc()
+	}
 }
 
 // Stats reports one Solve call.
@@ -173,15 +223,17 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 		return nil, ErrDisconnected
 	}
 	opts.Trace.Attach(opts.Ledger)
+	opts.Metrics.MirrorLedger(opts.Ledger)
 	sp := opts.Trace.Start("lapsolve-build")
 	defer sp.End()
 	gw := g.Clone()
-	s := &Solver{g: gw, lg: linalg.NewLaplacian(gw), opts: opts}
+	s := &Solver{g: gw, lg: linalg.NewLaplacian(gw), opts: opts, mi: newLapMetrics(opts.Metrics)}
 	if opts.Randomized {
 		res, err := sparsify.RandomizedSparsify(gw, sparsify.RandomOptions{
-			Seed:   opts.RandomSeed,
-			Ledger: opts.Ledger,
-			Trace:  opts.Trace,
+			Seed:    opts.RandomSeed,
+			Ledger:  opts.Ledger,
+			Trace:   opts.Trace,
+			Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lapsolver: %w", err)
@@ -281,6 +333,7 @@ func (s *Solver) Solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 	x, stats, err := s.solve(b, eps)
 	stats.Stats = snap.Stats()
 	stats.Spans = s.opts.Trace.SpanCount() - spansBefore
+	s.mi.record(stats)
 	return x, stats, err
 }
 

@@ -11,6 +11,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/lapsolver"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
 	"lapcc/internal/trace"
@@ -54,6 +55,11 @@ type Options struct {
 	// cascade. Exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded carrying the partial stats.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live counters for the run (IPM
+	// iterations, boostings, rounding outcomes) and a mirror of the
+	// ledger's cost stream, and is propagated to every stage of the
+	// pipeline. A nil registry records nothing and costs nothing.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) defaults() {
@@ -101,12 +107,20 @@ type Result struct {
 // m^{o(1)}); see DESIGN.md for all substitutions.
 func MaxFlow(dg *graph.DiGraph, s, t int, opts Options) (*Result, error) {
 	opts.defaults()
+	opts.Metrics.MirrorLedger(opts.Ledger)
 	snap := rounds.Snap(opts.Ledger)
 	spansBefore := opts.Trace.SpanCount()
 	res, err := maxFlowImpl(dg, s, t, opts)
 	if res != nil {
 		res.Stats = snap.Stats()
 		res.Spans = opts.Trace.SpanCount() - spansBefore
+		if reg := opts.Metrics; reg != nil {
+			reg.Counter("lapcc_maxflow_runs_total", "MaxFlow calls.").Inc()
+			reg.Counter("lapcc_maxflow_ipm_iterations_total", "Augmentation+Fixing IPM iterations.").Add(int64(res.IPMIterations))
+			reg.Counter("lapcc_maxflow_boostings_total", "Boosting steps.").Add(int64(res.Boostings))
+			reg.Counter("lapcc_maxflow_negative_arcs_total", "Rounded arc flows clamped into capacity range.").Add(int64(res.NegativeArcs))
+			reg.Counter("lapcc_maxflow_final_augmentations_total", "Augmenting paths of the final stage.").Add(int64(res.FinalAugmentations))
+		}
 	}
 	return res, err
 }
@@ -258,7 +272,7 @@ func newIPMState(dg *graph.DiGraph, s, t int, fstar int64, opts Options) (*ipmSt
 	// the support (internal measurement; see DESIGN.md).
 	if opts.FastSolve {
 		support := st.supportGraph(nil)
-		sres, err := sparsify.Sparsify(support, sparsify.Options{})
+		sres, err := sparsify.Sparsify(support, sparsify.Options{Metrics: opts.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("maxflow: calibrating solver charge: %w", err)
 		}
@@ -343,7 +357,7 @@ func (st *ipmState) sessionSolve(w []float64, b linalg.Vec, slot string) (linalg
 		// drift shifts the trajectory and with it the charged-round total.
 		// The session's win here is structural reuse; cold solves keep the
 		// path bit-identical to a fresh build every iteration.
-		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget}
+		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget, Metrics: st.opts.Metrics}
 		if !st.opts.FastSolve {
 			opts.Full = true
 			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults}
@@ -368,7 +382,7 @@ func (st *ipmState) solveFreshBaseline(w []float64, b linalg.Vec) (linalg.Vec, e
 		lg := linalg.NewLaplacian(support)
 		return linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(b)
 	}
-	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults})
+	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Metrics: st.opts.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -619,7 +633,7 @@ func (st *ipmState) roundFlow(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("maxflow: snapping IPM flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, st.s, st.t, delta, false,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: rounding IPM flow: %w", err)
 	}

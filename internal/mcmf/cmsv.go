@@ -10,6 +10,7 @@ import (
 	"lapcc/internal/flowround"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/shortestpath"
 	"lapcc/internal/sparsify"
@@ -50,6 +51,11 @@ type Options struct {
 	// cascade. Exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded carrying the partial stats.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live counters for the run (Progress
+	// iterations, repair augmentations, cancelled cycles) and a mirror of
+	// the ledger's cost stream, and is propagated to every stage of the
+	// pipeline. A nil registry records nothing and costs nothing.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) defaults() {
@@ -90,12 +96,20 @@ type Result struct {
 // the substitutions relative to CMSV17.
 func MinCostFlow(dg *graph.DiGraph, sigma []int64, opts Options) (*Result, error) {
 	opts.defaults()
+	opts.Metrics.MirrorLedger(opts.Ledger)
 	snap := rounds.Snap(opts.Ledger)
 	spansBefore := opts.Trace.SpanCount()
 	res, err := minCostFlowImpl(dg, sigma, opts)
 	if res != nil {
 		res.Stats = snap.Stats()
 		res.Spans = opts.Trace.SpanCount() - spansBefore
+		if reg := opts.Metrics; reg != nil {
+			reg.Counter("lapcc_mcmf_runs_total", "MinCostFlow calls.").Inc()
+			reg.Counter("lapcc_mcmf_progress_iterations_total", "Progress (Algorithm 9) iterations.").Add(int64(res.ProgressIterations))
+			reg.Counter("lapcc_mcmf_perturbations_total", "Perturbation (Algorithm 8) calls.").Add(int64(res.Perturbations))
+			reg.Counter("lapcc_mcmf_repair_augmentations_total", "Repairing shortest augmenting paths.").Add(int64(res.RepairAugmentations))
+			reg.Counter("lapcc_mcmf_cycles_cancelled_total", "Residual negative-cycle cancellations.").Add(int64(res.CyclesCancelled))
+		}
 	}
 	return res, err
 }
@@ -254,7 +268,7 @@ func (st *cmsvState) preconA() []float64 {
 func (st *cmsvState) solve(w []float64, b linalg.Vec, slot string) (linalg.Vec, error) {
 	if !st.chargeOK && st.opts.Ledger != nil {
 		unit := st.supportGraph(nil, false)
-		sres, err := sparsify.Sparsify(unit, sparsify.Options{})
+		sres, err := sparsify.Sparsify(unit, sparsify.Options{Metrics: st.opts.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("mcmf: calibrating solver charge: %w", err)
 		}
@@ -296,7 +310,7 @@ func (st *cmsvState) sessionSolve(w []float64, b linalg.Vec, slot string) (linal
 		support := st.supportGraph(w, true)
 		// WarmStart stays off for charged-round parity with the fresh-build
 		// path; see the maxflow sessionSolve comment.
-		sess, err := electrical.NewSession(support, electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget})
+		sess, err := electrical.NewSession(support, electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -579,7 +593,7 @@ func (st *cmsvState) roundToMatching(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("mcmf: snapping bipartite flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, S, T, delta, true,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: rounding bipartite flow: %w", err)
 	}

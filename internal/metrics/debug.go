@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug mux served by -debug-addr:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/metrics.json   deterministic JSON snapshot of reg
+//	/debug/pprof/*  net/http/pprof profiles (heap, profile, trace, ...)
+//	/               plain-text index of the above
+//
+// pprof is mounted on this private mux rather than http.DefaultServeMux so
+// importing the package never changes the default mux of an embedding
+// program.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lapcc debug server")
+		fmt.Fprintln(w, "  /metrics        Prometheus text format")
+		fmt.Fprintln(w, "  /metrics.json   JSON snapshot")
+		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server bound to a local address.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (":0" picks a free port) and serves
+// Handler(reg) in a background goroutine. It returns once the listener is
+// bound, so Addr is immediately scrapeable.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: debug server listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43817".
+func (d *DebugServer) Addr() string {
+	if d == nil || d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders registry snapshots in the two exposition formats the
+// debug server serves: the Prometheus text format (version 0.0.4, the
+// format every scraper speaks) and a JSON snapshot for ad-hoc tooling.
+// Both are deterministic: they render the sorted Snapshot and nothing else.
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format. Metrics sharing a name (label variants) are grouped under one
+// HELP/TYPE header, as the format requires. Histograms render cumulative
+// _bucket{le="..."} series with power-of-two bounds plus _sum and _count.
+// A nil registry writes nothing and returns nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			lastName = s.Name
+			if s.Help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(s.Name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(s.Help))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.Kind.String())
+			bw.WriteByte('\n')
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			bw.WriteString(s.Name)
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Value, 10))
+			bw.WriteByte('\n')
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				bw.WriteString(s.Name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, s.Labels, "le", strconv.FormatInt(b.UpperBound, 10))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(b.Count, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(s.Name)
+			bw.WriteString("_bucket")
+			writeLabels(bw, s.Labels, "le", "+Inf")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Count, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(s.Name)
+			bw.WriteString("_sum")
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Sum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(s.Name)
+			bw.WriteString("_count")
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Count, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLabels renders {k="v",...} including the optional extra pair; it
+// writes nothing when there are no labels at all.
+func writeLabels(bw *bufio.Writer, labels []Label, extraKey, extraValue string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(l.Value))
+		bw.WriteString(`"`)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraKey)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(extraValue))
+		bw.WriteString(`"`)
+	}
+	bw.WriteByte('}')
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// JSON snapshot records; one struct per kind keeps field order fixed so
+// the output is deterministic.
+
+type jsonLabel struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type jsonBucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+type jsonMetric struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Help    string       `json:"help,omitempty"`
+	Labels  []jsonLabel  `json:"labels,omitempty"`
+	Value   *int64       `json:"value,omitempty"`
+	Count   *int64       `json:"count,omitempty"`
+	Sum     *int64       `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonSnapshot struct {
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+// WriteJSON writes the registry as one deterministic JSON document:
+// {"metrics": [...]} sorted exactly like Snapshot. A nil registry writes
+// an empty document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := jsonSnapshot{Metrics: []jsonMetric{}}
+	for _, s := range r.Snapshot() {
+		m := jsonMetric{Name: s.Name, Kind: s.Kind.String(), Help: s.Help}
+		for _, l := range s.Labels {
+			m.Labels = append(m.Labels, jsonLabel{Key: l.Key, Value: l.Value})
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			v := s.Value
+			m.Value = &v
+		case KindHistogram:
+			c, sum := s.Count, s.Sum
+			m.Count = &c
+			m.Sum = &sum
+			for _, b := range s.Buckets {
+				m.Buckets = append(m.Buckets, jsonBucket{LE: b.UpperBound, Count: b.Count})
+			}
+		}
+		doc.Metrics = append(doc.Metrics, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

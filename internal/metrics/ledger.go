@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"lapcc/internal/rounds"
+)
+
+// ledgerSink mirrors a rounds.Ledger's cost and traffic stream into
+// registry counters. One adapter exists per registry (cached in
+// Registry.sink), so attaching the same registry to a ledger twice — or to
+// the shared ledger of a session that rebuilds its solver — stays
+// idempotent under Ledger.AttachSink's identity check.
+type ledgerSink struct {
+	measured *Counter
+	charged  *Counter
+	other    *Counter
+	messages *Counter
+	words    *Counter
+}
+
+// RoundCost implements rounds.Sink.
+func (s *ledgerSink) RoundCost(tag string, kind rounds.Kind, r int64) {
+	switch kind {
+	case rounds.Measured:
+		s.measured.Add(r)
+	case rounds.Charged:
+		s.charged.Add(r)
+	default:
+		s.other.Add(r)
+	}
+}
+
+// LinkTraffic implements rounds.TrafficSink.
+func (s *ledgerSink) LinkTraffic(tag string, messages, words int64) {
+	s.messages.Add(messages)
+	s.words.Add(words)
+}
+
+// LedgerSink returns the registry's rounds.Sink adapter, creating it on
+// first use. The same *Registry always returns the same adapter, which is
+// what makes rounds.Ledger.AttachSink idempotent for it. Returns nil on a
+// nil registry (and rounds.Ledger.AttachSink ignores nil).
+func (r *Registry) LedgerSink() rounds.Sink {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if s, ok := r.sink.(*ledgerSink); ok {
+		r.mu.Unlock()
+		return s
+	}
+	r.mu.Unlock()
+	// Build outside the lock: Counter re-takes it. Two racers both build;
+	// the second CAS-style check below keeps one canonical adapter.
+	s := &ledgerSink{
+		measured: r.Counter("lapcc_ledger_rounds_total", "Rounds recorded in the accounting ledger by kind.", "kind", "measured"),
+		charged:  r.Counter("lapcc_ledger_rounds_total", "Rounds recorded in the accounting ledger by kind.", "kind", "charged"),
+		other:    r.Counter("lapcc_ledger_rounds_total", "Rounds recorded in the accounting ledger by kind.", "kind", "other"),
+		messages: r.Counter("lapcc_ledger_traffic_messages_total", "Link messages reported to the ledger's traffic seam."),
+		words:    r.Counter("lapcc_ledger_traffic_words_total", "Link payload words reported to the ledger's traffic seam."),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.sink.(*ledgerSink); ok {
+		return have
+	}
+	r.sink = s
+	return s
+}
+
+// MirrorLedger attaches the registry's ledger adapter to led, so every
+// cost and traffic record the ledger sees is mirrored into
+// lapcc_ledger_* counters. Safe (and a no-op) on a nil registry or nil
+// ledger; composes with an installed tracer via AttachSink.
+func (r *Registry) MirrorLedger(led *rounds.Ledger) {
+	if r == nil || led == nil {
+		return
+	}
+	led.AttachSink(r.LedgerSink())
+}

@@ -1,0 +1,344 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lapcc/internal/rounds"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	h := r.Histogram("h", "a histogram")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(-9) // clamps to 0
+	h.ObserveDuration(3 * time.Nanosecond)
+	if h.Count() != 5 || h.Sum() != 9 {
+		t.Fatalf("hist count=%d sum=%d, want 5, 9", h.Count(), h.Sum())
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded state")
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WritePrometheus: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestDisabledAndEnabledRecordingDoesNotAllocate(t *testing.T) {
+	var nilC *Counter
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		nilC.Add(1)
+		nilH.Observe(7)
+	}); n != 0 {
+		t.Fatalf("nil instruments allocate %v allocs/op", n)
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(1 << 20)
+	}); n != 0 {
+		t.Fatalf("enabled instruments allocate %v allocs/op", n)
+	}
+}
+
+func TestLookupIsGetOrCreateAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "k", "v")
+	b := r.Counter("x_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if r.Counter("x_total", "", "k", "w") == a {
+		t.Fatal("different label value returned same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", "k", "v")
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "")
+	// One observation per bit-length class boundary: 0, 1, 2, 3, 4.
+	for _, v := range []int64{0, 1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	var s Sample
+	for _, smp := range r.Snapshot() {
+		if smp.Name == "h" {
+			s = smp
+		}
+	}
+	want := []BucketCount{
+		{UpperBound: 0, Count: 1}, // v=0
+		{UpperBound: 1, Count: 2}, // v=1
+		{UpperBound: 3, Count: 4}, // v in {2,3}
+		{UpperBound: 7, Count: 5}, // v=4
+	}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	if bucketUpperBound(63) != math.MaxInt64 {
+		t.Fatalf("top bucket bound = %d, want MaxInt64", bucketUpperBound(63))
+	}
+}
+
+func TestSnapshotIsSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.Gauge("a", "").Set(1)
+	r.Counter("b_total", "", "k", "z").Add(3)
+	r.Counter("b_total", "", "k", "a").Add(4)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("two snapshots of identical state differ")
+	}
+	var ids []string
+	for _, s := range s1 {
+		ids = append(ids, metricID(s.Name, s.Labels))
+	}
+	want := []string{"a", "b_total", `b_total{k="a"}`, `b_total{k="z"}`}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("snapshot order = %v, want %v", ids, want)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests served.", "code", "200").Add(3)
+	r.Counter("req_total", "Requests served.", "code", "500").Add(1)
+	r.Gauge("depth", "Queue depth.").Set(7)
+	h := r.Histogram("lat_ns", "Latency.")
+	h.Observe(0)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP depth Queue depth.
+# TYPE depth gauge
+depth 7
+# HELP lat_ns Latency.
+# TYPE lat_ns histogram
+lat_ns_bucket{le="0"} 1
+lat_ns_bucket{le="1"} 1
+lat_ns_bucket{le="3"} 1
+lat_ns_bucket{le="7"} 2
+lat_ns_bucket{le="+Inf"} 2
+lat_ns_sum 5
+lat_ns_count 2
+# HELP req_total Requests served.
+# TYPE req_total counter
+req_total{code="200"} 3
+req_total{code="500"} 1
+`
+	if sb.String() != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("dur_ns", "", "phase", "merge").Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`dur_ns_bucket{phase="merge",le="3"} 1`,
+		`dur_ns_bucket{phase="merge",le="+Inf"} 1`,
+		`dur_ns_sum{phase="merge"} 2`,
+		`dur_ns_count{phase="merge"} 1`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "help with \\ and\nnewline", "k", "quote\"back\\slash\nnl").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc_total help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{k="quote\"back\\slash\nnl"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "count", "k", "v").Add(2)
+	h := r.Histogram("h", "")
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		`"name": "c_total"`, `"kind": "counter"`, `"value": 2`,
+		`"key": "k"`, `"value": "v"`,
+		`"name": "h"`, `"kind": "histogram"`, `"count": 1`, `"sum": 3`, `"le": 3`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("JSON snapshot missing %s:\n%s", frag, out)
+		}
+	}
+	var sb2 strings.Builder
+	r.WriteJSON(&sb2)
+	if sb.String() != sb2.String() {
+		t.Fatal("JSON snapshot is not deterministic")
+	}
+}
+
+func TestMirrorLedgerCountsRoundsAndTraffic(t *testing.T) {
+	r := NewRegistry()
+	led := rounds.New()
+	r.MirrorLedger(led)
+	r.MirrorLedger(led) // idempotent: must not double-count
+	led.Add("phase/a", rounds.Measured, 5, "")
+	led.Add("phase/b", rounds.Charged, 11, "cite")
+	led.AddTraffic("phase/a", 100, 700)
+	snap := map[string]int64{}
+	for _, s := range r.Snapshot() {
+		snap[metricID(s.Name, s.Labels)] = s.Value
+	}
+	want := map[string]int64{
+		`lapcc_ledger_rounds_total{kind="measured"}`: 5,
+		`lapcc_ledger_rounds_total{kind="charged"}`:  11,
+		`lapcc_ledger_rounds_total{kind="other"}`:    0,
+		"lapcc_ledger_traffic_messages_total":        100,
+		"lapcc_ledger_traffic_words_total":           700,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Fatalf("%s = %d, want %d (snapshot %v)", k, snap[k], v, snap)
+		}
+	}
+}
+
+// otherSink is a second ledger sink used to check AttachSink composition.
+type otherSink struct{ costs, traffic int64 }
+
+func (o *otherSink) RoundCost(tag string, kind rounds.Kind, r int64) { o.costs += r }
+func (o *otherSink) LinkTraffic(tag string, messages, words int64)   { o.traffic += words }
+
+func TestMirrorLedgerComposesWithExistingSink(t *testing.T) {
+	r := NewRegistry()
+	led := rounds.New()
+	prior := &otherSink{}
+	led.SetSink(prior)
+	r.MirrorLedger(led)
+	r.MirrorLedger(led)
+	led.Add("x", rounds.Measured, 3, "")
+	led.AddTraffic("x", 1, 9)
+	if prior.costs != 3 || prior.traffic != 9 {
+		t.Fatalf("prior sink lost events: costs=%d traffic=%d", prior.costs, prior.traffic)
+	}
+	m := r.Counter("lapcc_ledger_rounds_total", "", "kind", "measured")
+	if m.Value() != 3 {
+		t.Fatalf("metrics mirror = %d, want 3 (double-attach must not double-count)", m.Value())
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "Up.").Inc()
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	if body, ct := get("/metrics"); !strings.Contains(body, "up_total 1") || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics body=%q content-type=%q", body, ct)
+	}
+	if body, ct := get("/metrics.json"); !strings.Contains(body, `"up_total"`) || ct != "application/json" {
+		t.Fatalf("/metrics.json body=%q content-type=%q", body, ct)
+	}
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+	if body, _ := get("/"); !strings.Contains(body, "lapcc debug server") {
+		t.Fatalf("index page: %q", body)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -169,6 +169,67 @@ func (l *Ledger) SetSink(s Sink) {
 	l.mu.Unlock()
 }
 
+// AttachSink installs s alongside any sink already present, composing
+// rather than replacing: a tracer and a metrics mirror can both observe one
+// ledger. Attaching is idempotent — re-attaching a sink that is already
+// installed (directly or as a member of the composite) is a no-op, so
+// solver constructors may attach unconditionally without double-counting.
+// A nil s is ignored.
+func (l *Ledger) AttachSink(s Sink) {
+	if s == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch cur := l.sink.(type) {
+	case nil:
+		l.sink = s
+	case *multiSink:
+		l.sink = cur.with(s)
+	default:
+		if cur == s {
+			return
+		}
+		l.sink = (&multiSink{members: []Sink{cur}}).with(s)
+	}
+}
+
+// multiSink fans one ledger's cost stream out to several sinks. It is
+// immutable after construction (AttachSink builds a new one to grow it), so
+// Add can call it outside the ledger lock like any other sink.
+type multiSink struct {
+	members []Sink
+}
+
+// with returns m extended by s, or m itself if s is already a member.
+func (m *multiSink) with(s Sink) *multiSink {
+	for _, have := range m.members {
+		if have == s {
+			return m
+		}
+	}
+	grown := make([]Sink, 0, len(m.members)+1)
+	grown = append(grown, m.members...)
+	grown = append(grown, s)
+	return &multiSink{members: grown}
+}
+
+// RoundCost implements Sink.
+func (m *multiSink) RoundCost(tag string, kind Kind, r int64) {
+	for _, s := range m.members {
+		s.RoundCost(tag, kind, r)
+	}
+}
+
+// LinkTraffic implements TrafficSink, forwarding to the members that care.
+func (m *multiSink) LinkTraffic(tag string, messages, words int64) {
+	for _, s := range m.members {
+		if ts, ok := s.(TrafficSink); ok {
+			ts.LinkTraffic(tag, messages, words)
+		}
+	}
+}
+
 // HasSink reports whether a sink is installed; callers use it to skip
 // computing observational statistics nobody will consume.
 func (l *Ledger) HasSink() bool {

@@ -7,6 +7,7 @@ import (
 
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -37,6 +38,9 @@ type RandomOptions struct {
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
 	Trace *trace.Tracer
+	// Metrics, if non-nil, receives live phase counters and a mirror of the
+	// ledger's cost stream.
+	Metrics *metrics.Registry
 }
 
 // CiteFV22 is the citation string for randomized-sparsifier round charges.
@@ -64,6 +68,8 @@ func RandomizedSparsify(g *graph.Graph, opts RandomOptions) (*Result, error) {
 		return nil, fmt.Errorf("sparsify: randomized sparsifier requires a connected graph")
 	}
 	opts.Trace.Attach(opts.Ledger)
+	opts.Metrics.MirrorLedger(opts.Ledger)
+	opts.Metrics.Counter("lapcc_sparsify_random_builds_total", "Randomized sparsifier builds.").Inc()
 	sp := opts.Trace.Start("sparsify-randomized")
 	defer sp.End()
 	if opts.Eps == 0 {

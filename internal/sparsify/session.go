@@ -42,7 +42,8 @@ type Chain struct {
 	levels   int       // recorded charge schedule: levels of the last build
 	n        int
 
-	stats ChainStats
+	stats    ChainStats
+	mirrored ChainStats // stats already mirrored into the metrics registry
 }
 
 // ChainOptions configures NewChain.
@@ -141,6 +142,23 @@ func (c *Chain) Graph() *graph.Graph { return c.g }
 // Stats returns the lifetime reuse counters.
 func (c *Chain) Stats() ChainStats { return c.stats }
 
+// mirrorStats pushes the counter increments since the last mirror into the
+// chain's metrics registry (the reweight-vs-rebuild hit counters of the
+// live exposition). No-op without a registry.
+func (c *Chain) mirrorStats() {
+	reg := c.opts.Sparsify.Metrics
+	if reg == nil {
+		return
+	}
+	help := "Chain reweight decisions by outcome."
+	reg.Counter("lapcc_sparsify_chain_reweights_total", "Chain.Reweight calls.").Add(int64(c.stats.Reweights - c.mirrored.Reweights))
+	reg.Counter("lapcc_sparsify_chain_reuse_total", help, "outcome", "exact").Add(int64(c.stats.ExactReuses - c.mirrored.ExactReuses))
+	reg.Counter("lapcc_sparsify_chain_reuse_total", help, "outcome", "drift").Add(int64(c.stats.DriftReuses - c.mirrored.DriftReuses))
+	reg.Counter("lapcc_sparsify_chain_remeasures_total", "Lanczos alpha re-measurements.").Add(int64(c.stats.Remeasures - c.mirrored.Remeasures))
+	reg.Counter("lapcc_sparsify_chain_rebuilds_total", "Full sparsifier rebuilds forced by alpha drift.").Add(int64(c.stats.Rebuilds - c.mirrored.Rebuilds))
+	c.mirrored = c.stats
+}
+
 // Alpha returns the last measured approximation factor, or 0 when no
 // measurement has been needed yet (reuse so far certified structurally).
 func (c *Chain) Alpha() float64 { return c.alphaRef }
@@ -192,6 +210,7 @@ func (c *Chain) Reweight(w []float64) (bool, error) {
 		return false, fmt.Errorf("sparsify: reweight with %d weights for %d edges", len(w), c.g.M())
 	}
 	c.stats.Reweights++
+	defer c.mirrorStats()
 	tr := c.opts.Sparsify.Trace
 	sp := tr.Startf("reweight-%d", c.stats.Reweights)
 	defer sp.End()

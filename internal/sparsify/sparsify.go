@@ -40,6 +40,7 @@ import (
 	"lapcc/internal/expander"
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
 )
@@ -75,6 +76,10 @@ type Options struct {
 	// exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded.
 	Budget *rounds.Budget
+	// Metrics, if non-nil, receives live phase counters (builds, levels,
+	// parts, chain reuse decisions) and a mirror of the ledger's cost
+	// stream; a nil registry records nothing and costs nothing.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) defaults(m int) {
@@ -120,6 +125,7 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	opts.defaults(g.M())
 	opts.Trace.Attach(opts.Ledger)
+	opts.Metrics.MirrorLedger(opts.Ledger)
 	sp := opts.Trace.Start("sparsify")
 	defer sp.End()
 
@@ -145,6 +151,12 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sparsify: weight class 2^%d: %w", ci, err)
 		}
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("lapcc_sparsify_builds_total", "Deterministic sparsifier builds completed.").Inc()
+		reg.Counter("lapcc_sparsify_levels_total", "Expander-decomposition levels executed across builds.").Add(int64(res.Levels))
+		reg.Counter("lapcc_sparsify_parts_total", "Certified expander parts across builds.").Add(int64(res.Parts))
+		reg.Counter("lapcc_sparsify_leftover_edges_total", "Edges copied verbatim after hitting the level cap.").Add(int64(res.LeftoverEdges))
 	}
 	return res, nil
 }

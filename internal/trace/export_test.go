@@ -147,10 +147,42 @@ func TestValidateJSONLRejectsMalformedStreams(t *testing.T) {
 			`{"ev":"cost","seq":1,"span":0,"tag":"t","kind":"imagined","rounds":1}` + "\n" +
 			`{"ev":"end","seq":2,"span":0,"measured":0,"charged":0}` + "\n",
 		"cost on unknown span": `{"ev":"cost","seq":0,"span":9,"tag":"t","kind":"measured","rounds":1}` + "\n",
+		"truncated line": `{"ev":"begin","seq":0,"span":0,"parent":-1,"name":"a","path":"a"}` + "\n" +
+			`{"ev":"end","seq":1,"span":0,"meas`,
+		"out-of-order close": `{"ev":"begin","seq":0,"span":0,"parent":-1,"name":"a","path":"a"}` + "\n" +
+			`{"ev":"begin","seq":1,"span":1,"parent":0,"name":"b","path":"a/b"}` + "\n" +
+			`{"ev":"end","seq":2,"span":0,"measured":0,"charged":0}` + "\n" +
+			`{"ev":"end","seq":3,"span":1,"measured":0,"charged":0}` + "\n",
+		"unknown field on begin": `{"ev":"begin","seq":0,"span":0,"parent":-1,"name":"a","path":"a","t":123}` + "\n",
+		"unknown field on cost": `{"ev":"begin","seq":0,"span":0,"parent":-1,"name":"a","path":"a"}` + "\n" +
+			`{"ev":"cost","seq":1,"span":0,"tag":"t","kind":"measured","rounds":1,"wall_ns":5}` + "\n" +
+			`{"ev":"end","seq":2,"span":0,"measured":1,"charged":0}` + "\n",
 	}
 	for name, in := range cases {
 		if err := ValidateJSONL(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: validated but should not", name)
+		}
+	}
+}
+
+// TestValidateJSONLRejectsTruncatedStream chops a real exported stream at
+// every byte boundary inside its final line: a writer killed mid-record
+// must never validate (the cut line is not a complete JSON object).
+func TestValidateJSONLRejectsTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if err := ValidateJSONL(bytes.NewReader(full)); err != nil {
+		t.Fatalf("intact stream must validate: %v", err)
+	}
+	// Find the start of the final record (the stream ends with '\n').
+	body := full[:len(full)-1]
+	last := bytes.LastIndexByte(body, '\n') + 1
+	for cut := last + 1; cut < len(body); cut++ {
+		if err := ValidateJSONL(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("stream truncated at byte %d/%d validated", cut, len(full))
 		}
 	}
 }

@@ -283,7 +283,7 @@ func (t *Tracer) Attach(led *rounds.Ledger) *Tracer {
 	if t == nil || led == nil {
 		return t
 	}
-	led.SetSink(t)
+	led.AttachSink(t)
 	return t
 }
 

@@ -8,11 +8,15 @@ import (
 )
 
 // ValidateJSONL checks a JSONL event stream against the schema WriteJSONL
-// emits: every line a JSON object with a known "ev" type and that type's
-// required fields, sequence numbers consecutive from 0, begin/end events
-// properly nested, and every cost/traffic/round event referencing either a
-// span that has begun or the sentinel -1. It returns nil for a valid
-// stream and a line-numbered error otherwise. make trace-smoke and the cmd
+// emits: every line a JSON object with a known "ev" type and exactly that
+// type's fields (unknown fields are rejected — a field this validator does
+// not know is one no consumer has agreed on, and silently passing it would
+// let the writer and the schema drift apart), sequence numbers consecutive
+// from 0, begin/end events properly nested, and every cost/traffic/round
+// event referencing either a span that has begun or the sentinel -1. It
+// returns nil for a valid stream and a line-numbered error otherwise —
+// including for a stream whose final line was truncated mid-object (a
+// killed writer), which fails JSON parsing. make trace-smoke and the cmd
 // -trace flags run every exported stream through it.
 func ValidateJSONL(r io.Reader) error {
 	sc := bufio.NewScanner(r)
@@ -31,6 +35,13 @@ func ValidateJSONL(r io.Reader) error {
 		ev, err := strField(raw, "ev", line)
 		if err != nil {
 			return err
+		}
+		if allowed, ok := eventFields[ev]; ok {
+			for key := range raw {
+				if !allowed[key] {
+					return fmt.Errorf("trace: line %d: unknown field %q on %q event", line, key, ev)
+				}
+			}
 		}
 		seq64, err := intField(raw, "seq", line)
 		if err != nil {
@@ -140,6 +151,25 @@ func ValidateJSONL(r io.Reader) error {
 		return fmt.Errorf("trace: stream ends with %d span(s) still open (innermost id %d)", len(stack), stack[len(stack)-1])
 	}
 	return nil
+}
+
+// eventFields is the exact field set of each event type, mirroring the
+// jsonl* structs in export.go. Unknown "ev" values fall through to the
+// switch's default error, so they need no entry here.
+var eventFields = map[string]map[string]bool{
+	"begin":   set("ev", "seq", "span", "parent", "name", "path"),
+	"end":     set("ev", "seq", "span", "measured", "charged"),
+	"cost":    set("ev", "seq", "span", "tag", "kind", "rounds"),
+	"traffic": set("ev", "seq", "span", "tag", "messages", "words"),
+	"round":   set("ev", "seq", "span", "messages", "words", "maxOut", "maxIn"),
+}
+
+func set(keys ...string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
 }
 
 func checkSpanRef(begun map[int]bool, span, line int) error {
