@@ -18,13 +18,15 @@ BENCH_ENGINE_BENCH := BenchmarkEngineRun|BenchmarkRoute
 BENCH_ENGINE_PKGS  := ./internal/cc/
 BENCH_SOLVER_BENCH := BenchmarkIPM|BenchmarkSolverSession
 BENCH_SOLVER_PKGS  := ./internal/maxflow/ ./internal/lapsolver/
+BENCH_SCALING_BENCH := BenchmarkScaling
+BENCH_SCALING_PKGS  := ./internal/linalg/
 
 # Common recipe: run one recorded benchmark suite with timing fidelity.
 define run-bench
 $(GO) test -run xxx -bench '$(1)' -benchmem -benchtime $(BENCHTIME) $(2)
 endef
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-gate check experiments trace-smoke stress bench-faults
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults
 
 all: build
 
@@ -57,6 +59,13 @@ bench-engine:
 bench-solver:
 	$(call run-bench,$(BENCH_SOLVER_BENCH),$(BENCH_SOLVER_PKGS))
 
+# The worker-scaling curve behind BENCH_scaling.json: blocked Laplacian
+# matvec, blocked dot, and full CG at 1/2/4/8 workers. Figures depend on
+# GOMAXPROCS; benchgate tags recorded names with @procs=N and only compares
+# runs at matching procs.
+bench-scaling:
+	$(call run-bench,$(BENCH_SCALING_BENCH),$(BENCH_SCALING_PKGS))
+
 # Refresh every recorded baseline: re-measures each suite at full fidelity
 # and writes BENCH_<suite>.new.json next to the checked-in files (copy over
 # the baseline to accept, restoring headline commentary where it changed).
@@ -77,8 +86,9 @@ experiments:
 # under lossy FaultPlans, multiple plan seeds) plus the fault/reliable-layer
 # unit tests, all under the race detector. See DESIGN.md §9.
 stress:
-	$(GO) test -race -count=1 -run 'FaultDifferential' .
+	$(GO) test -race -count=1 -run 'FaultDifferential|ParallelDifferential' .
 	$(GO) test -race -count=1 -run 'Fault|Reliable|Stall|Crash' ./internal/cc/
+	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Pool|Batch' ./internal/linalg/ ./internal/sparsify/ ./internal/electrical/
 
 # Re-measure the reliable-delivery round overhead behind BENCH_faults.json.
 bench-faults:

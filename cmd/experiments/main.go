@@ -20,6 +20,7 @@ import (
 
 	"lapcc/internal/cc"
 	"lapcc/internal/experiments"
+	"lapcc/internal/linalg"
 	"lapcc/internal/metrics"
 	"lapcc/internal/trace"
 )
@@ -33,16 +34,17 @@ func main() {
 	budget := flag.String("budget", "", "per-solver-run budget: 'rounds=N,wall=DUR' or bare round count 'N'")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
+	workers := flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
 	flag.Parse()
 
-	if err := run(*runFlag, *quick, *trOut, *trEv, *faults, *budget, *debugAddr, *debugHold); err != nil {
+	if err := run(*runFlag, *quick, *trOut, *trEv, *faults, *budget, *debugAddr, *debugHold, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runFlag string, quick bool, trOut, trEv, faults, budget, debugAddr string, debugHold time.Duration) error {
-	cfg := experiments.Config{BudgetSpec: budget}
+func run(runFlag string, quick bool, trOut, trEv, faults, budget, debugAddr string, debugHold time.Duration, workers int) error {
+	cfg := experiments.Config{BudgetSpec: budget, Workers: workers}
 	if faults != "" {
 		plan, err := cc.ParseFaultPlan(faults)
 		if err != nil {
@@ -54,6 +56,7 @@ func run(runFlag string, quick bool, trOut, trEv, faults, budget, debugAddr stri
 	if debugAddr != "" {
 		reg := metrics.NewRegistry()
 		cc.SetMetrics(reg)
+		linalg.SetMetrics(reg)
 		srv, err := metrics.StartDebugServer(debugAddr, reg)
 		if err != nil {
 			return err
@@ -66,6 +69,7 @@ func run(runFlag string, quick bool, trOut, trEv, faults, budget, debugAddr stri
 			}
 			srv.Close()
 			cc.SetMetrics(nil)
+			linalg.SetMetrics(nil)
 		}()
 		cfg.Metrics = reg
 	}

@@ -22,6 +22,7 @@ import (
 	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
 	"lapcc/internal/maxflow"
 	"lapcc/internal/mcmf"
 	"lapcc/internal/metrics"
@@ -54,6 +55,7 @@ func run() error {
 		budget    = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
+		workers   = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func run() error {
 	if *trOut != "" || *trEv != "" {
 		tr = trace.New()
 	}
-	ro := core.RunOptions{Trace: tr}
+	ro := core.RunOptions{Trace: tr, Workers: *workers}
 	if *debugAddr != "" {
 		srv, reg, err := startDebug(*debugAddr)
 		if err != nil {
@@ -176,6 +178,7 @@ func run() error {
 func startDebug(addr string) (*metrics.DebugServer, *metrics.Registry, error) {
 	reg := metrics.NewRegistry()
 	cc.SetMetrics(reg)
+	linalg.SetMetrics(reg)
 	srv, err := metrics.StartDebugServer(addr, reg)
 	if err != nil {
 		return nil, nil, err
@@ -193,6 +196,7 @@ func holdAndClose(srv *metrics.DebugServer, hold time.Duration) {
 	}
 	srv.Close()
 	cc.SetMetrics(nil)
+	linalg.SetMetrics(nil)
 }
 
 func assignmentInstance(left, right, degree int, maxCost int64, seed int64) (*graph.DiGraph, []int64) {

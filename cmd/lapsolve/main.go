@@ -51,10 +51,12 @@ func run() error {
 		budget    = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
+		workers   = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
 	)
 	flag.Parse()
 
 	var ro core.RunOptions
+	ro.Workers = *workers
 	if *debugAddr != "" {
 		srv, reg, err := startDebug(*debugAddr)
 		if err != nil {
@@ -104,7 +106,7 @@ func run() error {
 	ro.Trace = tr
 	fmt.Printf("graph: n=%d m=%d; eps=%g\n", g.N(), g.M(), *eps)
 	if *nRHS > 1 {
-		if err := runSession(g, *source, t, *eps, *nRHS, tr); err != nil {
+		if err := runSession(g, *source, t, *eps, *nRHS, ro); err != nil {
 			return err
 		}
 	} else {
@@ -137,8 +139,8 @@ func run() error {
 // runSession pushes k pole-pair right-hand sides (source, source+i mod n)
 // through one LaplacianSession: the sparsifier is preprocessed once and the
 // per-solve round delta is reported for each right-hand side.
-func runSession(g *graph.Graph, source, sink int, eps float64, k int, tr *trace.Tracer) (err error) {
-	sess, err := core.NewLaplacianSessionTraced(g, tr)
+func runSession(g *graph.Graph, source, sink int, eps float64, k int, ro core.RunOptions) (err error) {
+	sess, err := core.NewLaplacianSessionWith(g, ro)
 	if err != nil {
 		return err
 	}
@@ -175,6 +177,7 @@ func runSession(g *graph.Graph, source, sink int, eps float64, k int, tr *trace.
 func startDebug(addr string) (*metrics.DebugServer, *metrics.Registry, error) {
 	reg := metrics.NewRegistry()
 	cc.SetMetrics(reg)
+	linalg.SetMetrics(reg)
 	srv, err := metrics.StartDebugServer(addr, reg)
 	if err != nil {
 		return nil, nil, err
@@ -192,6 +195,7 @@ func holdAndClose(srv *metrics.DebugServer, hold time.Duration) {
 	}
 	srv.Close()
 	cc.SetMetrics(nil)
+	linalg.SetMetrics(nil)
 }
 
 func generate(kind string, n int) (*graph.Graph, error) {

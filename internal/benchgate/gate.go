@@ -2,8 +2,10 @@ package benchgate
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"os/exec"
 	"strings"
 )
@@ -12,13 +14,21 @@ import (
 // to re-measure it. Timing suites re-run `go test -bench`; the faults suite
 // re-executes its workloads in-process (Measure is set instead of Bench).
 type Suite struct {
-	Name     string // "engine", "solver", "faults"
+	Name     string // "engine", "solver", "faults", "scaling"
 	Baseline string // baseline file name, relative to the repo root
 	// Bench/Packages re-run a `go test` benchmark suite (timing suites).
 	Bench    string   // -bench regexp
 	Packages []string // package patterns
 	// Measure re-computes deterministic results in-process (round suites).
 	Measure func() (map[string]Workload, error)
+	// KeepProcs records the GOMAXPROCS suffix in normalised names instead of
+	// stripping it, and restricts the diff to procs levels the fresh run
+	// measured. Set for suites whose figures depend on the processor count.
+	KeepProcs bool
+	// Bootstrap makes a missing baseline file a first-run measurement (the
+	// fresh results gate nothing and are written out to seed the baseline)
+	// instead of an error.
+	Bootstrap bool
 }
 
 // Suites is the gate's registry, one entry per checked-in BENCH_*.json.
@@ -41,6 +51,14 @@ var Suites = []Suite{
 		Name:     "faults",
 		Baseline: "BENCH_faults.json",
 		Measure:  MeasureFaultWorkloads,
+	},
+	{
+		Name:      "scaling",
+		Baseline:  "BENCH_scaling.json",
+		Bench:     "BenchmarkScaling",
+		Packages:  []string{"./internal/linalg/"},
+		KeepProcs: true,
+		Bootstrap: true,
 	},
 }
 
@@ -102,7 +120,13 @@ func RunGoBench(dir, bench, benchtime string, packages []string, echo io.Writer)
 func GateSuite(s Suite, dir, benchtime, recorded string, tol Tolerance, echo io.Writer) (*Result, error) {
 	base, err := Load(dir + "/" + s.Baseline)
 	if err != nil {
-		return nil, err
+		if s.Bootstrap && errors.Is(err, os.ErrNotExist) {
+			// First run on this checkout: measure, gate nothing, and let the
+			// caller write the fresh file to seed the baseline.
+			base = &File{Description: fmt.Sprintf("bootstrap baseline for suite %s", s.Name)}
+		} else {
+			return nil, err
+		}
 	}
 	fresh := *base // carry description/host/headline through to the .new file
 	if recorded != "" {
@@ -124,13 +148,17 @@ func GateSuite(s Suite, dir, benchtime, recorded string, tol Tolerance, echo io.
 	if err != nil {
 		return nil, fmt.Errorf("suite %s: %w", s.Name, err)
 	}
-	got, err := ParseBenchOutput(bytes.NewReader(out))
+	got, err := ParseBenchOutputProcs(bytes.NewReader(out), s.KeepProcs)
 	if err != nil {
 		return nil, fmt.Errorf("suite %s: %w", s.Name, err)
 	}
 	fresh.Benchmarks = got
 	fresh.Command = fmt.Sprintf("go test -run xxx -bench '%s' -benchmem -benchtime %s %s",
 		s.Bench, benchtime, strings.Join(s.Packages, " "))
-	res.Regressions = Diff(base.Benchmarks, got, tol)
+	gated := base.Benchmarks
+	if s.KeepProcs {
+		gated = FilterByProcs(gated, got)
+	}
+	res.Regressions = Diff(gated, got, tol)
 	return res, nil
 }

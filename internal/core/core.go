@@ -49,6 +49,13 @@ type RunOptions struct {
 	// registry the debug HTTP endpoint exposes (see internal/metrics). A
 	// nil registry records nothing and costs nothing.
 	Metrics *metrics.Registry
+	// Workers sets the worker count of the numerical core for the run —
+	// Laplacian matvecs, CG/Chebyshev vector kernels, per-part sparsifier
+	// builds (0 = GOMAXPROCS, 1 = sequential, restoring the exact
+	// single-threaded code path). Parallelism is internal computation and
+	// free in the congested-clique model; answers and round accounting are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // RoundReport summarizes where an algorithm's congested-clique rounds went.
@@ -100,6 +107,7 @@ func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
 		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Workers: ro.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -137,8 +145,17 @@ func NewLaplacianSession(g *graph.Graph) (*LaplacianSession, error) {
 // NewLaplacianSessionTraced is NewLaplacianSession recording spans into tr
 // (nil for no tracing).
 func NewLaplacianSessionTraced(g *graph.Graph, tr *trace.Tracer) (*LaplacianSession, error) {
+	return NewLaplacianSessionWith(g, RunOptions{Trace: tr})
+}
+
+// NewLaplacianSessionWith is NewLaplacianSession under the given robustness
+// options (workers knob included).
+func NewLaplacianSessionWith(g *graph.Graph, ro RunOptions) (*LaplacianSession, error) {
 	led := rounds.New()
-	s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr, WarmStart: true})
+	s, err := lapsolver.NewSolver(g, lapsolver.Options{
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Workers: ro.Workers, WarmStart: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +222,7 @@ func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	led := rounds.New()
 	res, err := sparsify.Sparsify(g, sparsify.Options{
 		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Workers: ro.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -312,6 +330,7 @@ func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, er
 	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{
 		Ledger: led, FastSolve: true,
 		Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Workers: ro.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -355,6 +374,7 @@ func MinCostFlowWith(dg *graph.DiGraph, sigma []int64, ro RunOptions) (*MinCostF
 	led := rounds.New()
 	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{
 		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Workers: ro.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lapcc/internal/core"
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// --- E15 ------------------------------------------------------------------
+
+// e15Workers is the worker sweep of the parallel-numerics experiment,
+// matching the recorded BENCH_scaling.json curve.
+var e15Workers = []int{1, 2, 4, 8}
+
+// e15Hash folds a vector's exact bit patterns into one word, the identity
+// check the table reports: equal hashes across the sweep mean bit-identical
+// results, the parallel runtime's contract.
+func e15Hash(v linalg.Vec) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range v {
+		h ^= math.Float64bits(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// e15ParallelNumerics measures the parallel numerical core (DESIGN.md §11):
+// the blocked Laplacian matvec and a full Jacobi-CG solve at 1/2/4/8
+// workers on one instance, reporting wall clock per worker count alongside
+// the bit-identity verdict, then the full Theorem 1.1 solver through the
+// Workers knob with its round total — pinning that parallelism changes wall
+// clock only, never answers or round accounting. The identity and rounds
+// columns are wall-clock-insensitive and reproduce exactly on any host; the
+// timing columns scale with real cores (on a single-core host every
+// workers>1 row pays pure scheduling overhead, matching BENCH_scaling.json).
+func e15ParallelNumerics(w io.Writer, quick bool) error {
+	n, m := 20000, 80000
+	reps := 20
+	if quick {
+		n, m = 6000, 24000
+		reps = 5
+	}
+	g, err := graph.ConnectedGNM(n, m, 15)
+	if err != nil {
+		return err
+	}
+	src := linalg.NewVec(n)
+	for i := range src {
+		src[i] = math.Sin(float64(i) * 0.37)
+	}
+	rhs := linalg.NewVec(n)
+	rhs[0], rhs[n-1] = 1, -1
+
+	fmt.Fprintf(w, "-- blocked kernels, n=%d m=%d (%d reps, best wall clock) --\n", n, m, reps)
+	fmt.Fprintf(w, "%8s %12s %12s %12s %10s\n", "workers", "apply", "dot", "cg", "identical")
+	var refApply, refCG uint64
+	for _, workers := range e15Workers {
+		l := linalg.NewLaplacian(g)
+		pool := linalg.SharedPool(workers)
+		l.SetPool(pool)
+		l.Refresh()
+		dst := linalg.NewVec(n)
+
+		bestApply := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			l.Apply(dst, src)
+			if d := time.Since(t0); d < bestApply {
+				bestApply = d
+			}
+		}
+		bestDot := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			_ = pool.Dot(src, src)
+			if d := time.Since(t0); d < bestDot {
+				bestDot = d
+			}
+		}
+		t0 := time.Now()
+		x, _, err := linalg.SolveCG(l, rhs, linalg.CGOptions{
+			Tol: 1e-8, Precond: l.Degrees().Clone(), ProjectMean: true, Pool: pool,
+		})
+		if err != nil {
+			return fmt.Errorf("e15: cg at workers=%d: %w", workers, err)
+		}
+		cgTime := time.Since(t0)
+
+		applyHash, cgHash := e15Hash(dst), e15Hash(x)
+		if workers == 1 {
+			refApply, refCG = applyHash, cgHash
+		}
+		ident := "yes"
+		if applyHash != refApply || cgHash != refCG {
+			ident = "NO — BUG"
+		}
+		fmt.Fprintf(w, "%8d %12s %12s %12s %10s\n",
+			workers, bestApply.Round(time.Microsecond), bestDot.Round(time.Microsecond),
+			cgTime.Round(time.Microsecond), ident)
+	}
+
+	sn := 96
+	if quick {
+		sn = 48
+	}
+	sg, err := graph.ConnectedGNM(sn, 4*sn, 16)
+	if err != nil {
+		return err
+	}
+	sb := linalg.NewVec(sn)
+	sb[0], sb[sn-1] = 1, -1
+	fmt.Fprintf(w, "\n-- full Theorem 1.1 solver through core.RunOptions.Workers, n=%d --\n", sn)
+	fmt.Fprintf(w, "%8s %10s %8s %12s %10s\n", "workers", "rounds", "iters", "wall", "identical")
+	var refX uint64
+	var refRounds int64
+	for _, workers := range e15Workers {
+		t0 := time.Now()
+		res, err := core.SolveLaplacianWith(sg.Clone(), sb, 1e-8, core.RunOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("e15: solver at workers=%d: %w", workers, err)
+		}
+		wall := time.Since(t0)
+		h := e15Hash(res.X)
+		if workers == 1 {
+			refX, refRounds = h, res.Rounds.Total
+		}
+		ident := "yes"
+		if h != refX || res.Rounds.Total != refRounds {
+			ident = "NO — BUG"
+		}
+		fmt.Fprintf(w, "%8d %10d %8d %12s %10s\n",
+			workers, res.Rounds.Total, res.Iterations, wall.Round(time.Millisecond), ident)
+	}
+	fmt.Fprintln(w, "\nclaim shape: identical=yes and constant rounds on every row — fixed block")
+	fmt.Fprintln(w, "partitions and fixed-order tree reductions make results bit-identical at any")
+	fmt.Fprintln(w, "worker count, and parallelism is internal computation — zero extra rounds.")
+	return nil
+}

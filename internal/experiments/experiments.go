@@ -40,6 +40,10 @@ type Config struct {
 	BudgetSpec string
 	// Metrics, if non-nil, receives live counters from every solver run.
 	Metrics *metrics.Registry
+	// Workers sets the numerical core's worker count for every solver run
+	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical at any
+	// setting, so the tables are reproducible regardless of the knob.
+	Workers int
 }
 
 var config Config
@@ -74,6 +78,9 @@ func expBudget() *rounds.Budget {
 // expMetrics returns the configured metrics registry (nil records nothing).
 func expMetrics() *metrics.Registry { return config.Metrics }
 
+// expWorkers returns the configured numerical-core worker count.
+func expWorkers() int { return config.Workers }
+
 // Experiment is one reproducible table generator.
 type Experiment struct {
 	// ID is the experiment identifier (E1..E8).
@@ -101,6 +108,7 @@ func All() []Experiment {
 		{"E12", "E12 — session layer: preprocess once, solve many (throughput vs #RHS)", e12Session},
 		{"E13", "E13 — fault injection: reliable-delivery round overhead vs drop rate", e13FaultSweep},
 		{"E14", "E14 — live metrics: /metrics scrape of retransmission counters vs drop rate", e14LiveMetrics},
+		{"E15", "E15 — parallel numerics: worker scaling with bit-identical results and rounds", e15ParallelNumerics},
 	}
 }
 
@@ -152,7 +160,7 @@ func e1Sparsifier(w io.Writer, quick bool) error {
 
 func e1Row(w io.Writer, name string, g *graph.Graph) error {
 	led := rounds.New()
-	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+	res, err := sparsify.Sparsify(g, sparsify.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 	if err != nil {
 		return err
 	}
@@ -184,7 +192,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 			return err
 		}
 		led := rounds.New()
-		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -206,7 +214,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "%10s %12s %12s %16s\n", "eps", "rounds", "iters", "rounds/ln(1/eps)")
 	for _, eps := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10} {
 		led := rounds.New()
-		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -228,7 +236,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 		}
 		b := twoPole(n)
 		detLed := rounds.New()
-		det, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: detLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		det, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: detLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -238,7 +246,7 @@ func e2Laplacian(w io.Writer, quick bool) error {
 			return err
 		}
 		rndLed := rounds.New()
-		rnd, err := lapsolver.NewSolver(g, lapsolver.Options{Randomized: true, RandomSeed: int64(n), Ledger: rndLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		rnd, err := lapsolver.NewSolver(g, lapsolver.Options{Randomized: true, RandomSeed: int64(n), Ledger: rndLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -402,7 +410,7 @@ func e5MaxFlow(w io.Writer, quick bool) error {
 func e5Row(w io.Writer, dg *graph.DiGraph) error {
 	s, t := 0, dg.N()-1
 	led := rounds.New()
-	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 	if err != nil {
 		return err
 	}
@@ -444,7 +452,7 @@ func e6MinCostFlow(w io.Writer, quick bool) error {
 
 func e6Row(w io.Writer, dg *graph.DiGraph, sigma []int64) error {
 	led := rounds.New()
-	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 	if err != nil {
 		return err
 	}
@@ -500,7 +508,7 @@ func e7Baselines(w io.Writer, quick bool) error {
 		dg := graph.LayeredDAG(3, 4, 2, u, 23)
 		s, t := 0, dg.N()-1
 		led := rounds.New()
-		res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{Ledger: led, FastSolve: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -614,7 +622,7 @@ func e9RelatedWork(w io.Writer, quick bool) error {
 				return err
 			}
 			led := rounds.New()
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			if err != nil {
 				return err
 			}
@@ -820,7 +828,7 @@ func e11Workloads(quick bool) []struct {
 				return err
 			}
 			led := rounds.New()
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			if err != nil {
 				return err
 			}
@@ -833,7 +841,7 @@ func e11Workloads(quick bool) []struct {
 				return err
 			}
 			led := rounds.New()
-			_, err = sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			_, err = sparsify.Sparsify(g, sparsify.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			return err
 		}},
 		{"euler", func(tr *trace.Tracer) error {
@@ -854,13 +862,13 @@ func e11Workloads(quick bool) []struct {
 		{"maxflow", func(tr *trace.Tracer) error {
 			dg := graph.LayeredDAG(3, 4, 2, 8, 17)
 			led := rounds.New()
-			_, err := maxflow.MaxFlow(dg, 0, dg.N()-1, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			_, err := maxflow.MaxFlow(dg, 0, dg.N()-1, maxflow.Options{Ledger: led, FastSolve: true, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			return err
 		}},
 		{"mcmf", func(tr *trace.Tracer) error {
 			dg, sigma := assignment(4, 4, 3, 16, 5)
 			led := rounds.New()
-			_, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			_, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{Ledger: led, Trace: tr, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			return err
 		}},
 	}
@@ -914,7 +922,7 @@ func e12Session(w io.Writer, quick bool) error {
 		"#rhs", "session s/sec", "rebuild s/sec", "speedup", "sess charged", "fresh charged")
 	for _, k := range ks {
 		sessLed := rounds.New()
-		sess, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: sessLed, WarmStart: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+		sess, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: sessLed, WarmStart: true, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 		if err != nil {
 			return err
 		}
@@ -929,7 +937,7 @@ func e12Session(w io.Writer, quick bool) error {
 		freshLed := rounds.New()
 		start = time.Now()
 		for i := 0; i < k; i++ {
-			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: freshLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics()})
+			s, err := lapsolver.NewSolver(g, lapsolver.Options{Ledger: freshLed, Faults: expFaults(), Budget: expBudget(), Metrics: expMetrics(), Workers: expWorkers()})
 			if err != nil {
 				return err
 			}

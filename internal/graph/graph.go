@@ -29,6 +29,7 @@ type Graph struct {
 	n     int
 	edges []Edge
 	adj   [][]Half
+	gen   uint64 // topology generation; bumped by edge-endpoint mutations
 }
 
 // Half is one endpoint's view of an undirected edge: the opposite endpoint
@@ -98,7 +99,57 @@ func (g *Graph) AddEdge(u, v int, w float64) (int, error) {
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Half{To: v, Edge: id})
 	g.adj[v] = append(g.adj[v], Half{To: u, Edge: id})
+	g.gen++
 	return id, nil
+}
+
+// Gen returns the graph's topology generation: a counter bumped by every
+// mutation that changes edge endpoints (AddEdge, RewireEdge) but not by
+// weight-only updates (SetWeight, SetWeights). Caches keyed on the topology
+// — the Laplacian's coalesced pair groups foremost — compare generations
+// instead of edge counts, so a rewire that keeps M constant still
+// invalidates them.
+func (g *Graph) Gen() uint64 { return g.gen }
+
+// RewireEdge moves edge i to the endpoints {u,v}, keeping its index and
+// weight. The endpoints are validated exactly like AddEdge's and normalized
+// to U < V; the adjacency halves of the old endpoints are removed and the
+// new ones appended. Rewiring changes the topology without changing M, so it
+// bumps the generation counter — operators caching topology-derived state
+// must Refresh against Gen, not M.
+func (g *Graph) RewireEdge(i, u, v int) error {
+	if i < 0 || i >= len(g.edges) {
+		return fmt.Errorf("graph: edge index %d out of range (m=%d)", i, len(g.edges))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	old := g.edges[i]
+	g.dropHalf(old.U, i)
+	g.dropHalf(old.V, i)
+	g.edges[i].U, g.edges[i].V = u, v
+	g.adj[u] = append(g.adj[u], Half{To: v, Edge: i})
+	g.adj[v] = append(g.adj[v], Half{To: u, Edge: i})
+	g.gen++
+	return nil
+}
+
+// dropHalf removes vertex w's adjacency half of edge i, preserving the
+// relative order of the remaining halves.
+func (g *Graph) dropHalf(w, i int) {
+	hs := g.adj[w]
+	for k, h := range hs {
+		if h.Edge == i {
+			g.adj[w] = append(hs[:k], hs[k+1:]...)
+			return
+		}
+	}
 }
 
 // SetWeight replaces the weight of edge i in place, keeping the topology
@@ -185,6 +236,7 @@ func (g *Graph) Clone() *Graph {
 	for v := range g.adj {
 		c.adj[v] = append([]Half(nil), g.adj[v]...)
 	}
+	c.gen = g.gen
 	return c
 }
 

@@ -220,3 +220,78 @@ func TestMustAddEdgePanicsOnError(t *testing.T) {
 	}()
 	g.MustAddEdge(1, 1, 1)
 }
+
+// TestRewireEdge checks the endpoint-mutation primitive: the edge keeps its
+// index and weight, both adjacency sides are rewritten, the generation
+// counter moves, and invalid arguments leave the graph untouched.
+func TestRewireEdge(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(1, 2, 2.5)
+	g.MustAddEdge(2, 3, 3.5)
+	gen := g.Gen()
+
+	if err := g.RewireEdge(1, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Gen() != gen+1 {
+		t.Fatalf("gen = %d, want %d (rewire must bump the topology generation)", g.Gen(), gen+1)
+	}
+	e := g.Edge(1)
+	if e.U != 0 || e.V != 4 || e.W != 2.5 {
+		t.Fatalf("rewired edge = %+v, want {0 4 2.5} (normalized, weight kept)", e)
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (rewire must not change the edge count)", g.M())
+	}
+	// Old endpoints no longer reference edge 1; new ones do, exactly once.
+	count := func(v int) int {
+		n := 0
+		for _, h := range g.Adj(v) {
+			if h.Edge == 1 {
+				if other := g.Edge(1).U + g.Edge(1).V - v; h.To != other {
+					t.Fatalf("adj[%d] half points at %d, want %d", v, h.To, other)
+				}
+				n++
+			}
+		}
+		return n
+	}
+	for v, want := range map[int]int{0: 1, 4: 1, 1: 0, 2: 0} {
+		if got := count(v); got != want {
+			t.Fatalf("vertex %d references edge 1 %d times, want %d", v, got, want)
+		}
+	}
+
+	// Degree bookkeeping survives: every half is consistent.
+	if g.Degree(1) != 1 || g.Degree(0) != 2 || g.Degree(4) != 1 {
+		t.Fatalf("degrees after rewire: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(4))
+	}
+
+	for _, bad := range [][3]int{{-1, 0, 1}, {3, 0, 1}, {0, -1, 2}, {0, 0, 5}, {0, 2, 2}} {
+		if err := g.RewireEdge(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("RewireEdge(%v) accepted invalid arguments", bad)
+		}
+	}
+	if g.Gen() != gen+1 {
+		t.Fatal("failed rewires must not bump the generation")
+	}
+
+	// AddEdge also moves the generation; SetWeight must not.
+	g.MustAddEdge(3, 4, 1)
+	if g.Gen() != gen+2 {
+		t.Fatalf("AddEdge gen = %d, want %d", g.Gen(), gen+2)
+	}
+	if err := g.SetWeight(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if g.Gen() != gen+2 {
+		t.Fatal("SetWeight must not bump the topology generation")
+	}
+
+	// Clone carries the generation, so caches keyed on Gen stay coherent
+	// across clones.
+	if c := g.Clone(); c.Gen() != g.Gen() {
+		t.Fatalf("clone gen = %d, want %d", c.Gen(), g.Gen())
+	}
+}

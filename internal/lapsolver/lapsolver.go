@@ -94,6 +94,12 @@ type Options struct {
 	// when that field is unset. A nil registry records nothing and costs
 	// nothing.
 	Metrics *metrics.Registry
+	// Workers sets the worker count for the solver's numerical kernels
+	// (Laplacian matvecs, Chebyshev vector ops, internal CG) and is
+	// propagated to Sparsify.Workers when that field is unset
+	// (0 = GOMAXPROCS, 1 = sequential — today's exact code path). Results
+	// are bit-identical at any worker count; see linalg's parallel runtime.
+	Workers int
 	// NoEscalation disables the guarded-recovery machinery — both the
 	// Chebyshev stagnation window (so every attempt runs its full
 	// prescribed iteration count) and the recovery ladder (stagnation →
@@ -127,6 +133,9 @@ func (o *Options) defaults() {
 	if o.Metrics != nil && o.Sparsify.Metrics == nil {
 		o.Sparsify.Metrics = o.Metrics
 	}
+	if o.Sparsify.Workers == 0 {
+		o.Sparsify.Workers = o.Workers
+	}
 }
 
 // Solver solves systems L_G x = b to relative precision eps in the L_G
@@ -143,6 +152,7 @@ type Solver struct {
 	lh     *linalg.Laplacian
 	hSolve func(linalg.Vec) (linalg.Vec, error)
 	opts   Options
+	pool   *linalg.Pool    // nil = sequential kernels
 	chain  *sparsify.Chain // nil on the randomized path
 
 	// Warm-start state (only written when opts.WarmStart is set).
@@ -228,6 +238,8 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 	defer sp.End()
 	gw := g.Clone()
 	s := &Solver{g: gw, lg: linalg.NewLaplacian(gw), opts: opts, mi: newLapMetrics(opts.Metrics)}
+	s.pool = linalg.SharedPool(opts.Workers)
+	s.lg.SetPool(s.pool)
 	if opts.Randomized {
 		res, err := sparsify.RandomizedSparsify(gw, sparsify.RandomOptions{
 			Seed:    opts.RandomSeed,
@@ -256,6 +268,7 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 func (s *Solver) setSparsifier(h *graph.Graph) {
 	s.h = h
 	s.lh = linalg.NewLaplacian(h)
+	s.lh.SetPool(s.pool)
 	s.hSolve = linalg.LaplacianCGSolver(s.lh, s.opts.InternalTol)
 }
 
@@ -347,9 +360,9 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("lapsolver: eps %v outside (0, 1/2]", eps)
 	}
 	rhs := b.Clone()
-	rhs.RemoveMean()
+	s.pool.RemoveMean(rhs)
 	var stats Stats
-	if rhs.Norm2() == 0 {
+	if s.pool.Norm2(rhs) == 0 {
 		return linalg.NewVec(s.g.N()), stats, nil
 	}
 
@@ -423,6 +436,7 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 			// floor, not stagnation: finish the prescribed iterations so
 			// round accounting matches the window-free solver exactly.
 			StagnationTol: chebyEps,
+			Pool:          s.pool,
 			OnIteration: func() {
 				if s.opts.Ledger != nil {
 					// One matvec with L_G per iteration: one round.
@@ -454,10 +468,13 @@ func (s *Solver) solve(b linalg.Vec, eps float64) (linalg.Vec, Stats, error) {
 		// preconditioner norm (internal) plus one aggregation round.
 		r := linalg.NewVec(len(rhs))
 		s.lg.Apply(r, x)
-		for i := range r {
-			r[i] = rhs[i] - r[i]
-		}
-		r.RemoveMean()
+		s.pool.Range(len(r), func(lo, hi int) {
+			rs, bs := r[lo:hi], rhs[lo:hi]
+			for i := range rs {
+				rs[i] = bs[i] - rs[i]
+			}
+		})
+		s.pool.RemoveMean(r)
 		if s.opts.Ledger != nil {
 			s.opts.Ledger.Add("lapsolve-residual", rounds.Measured, 2, "residual matvec + aggregation")
 		}
@@ -553,7 +570,7 @@ func (s *Solver) precondNorm(v linalg.Vec) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("lapsolver: preconditioner norm: %w", err)
 	}
-	q := v.Dot(y)
+	q := s.pool.Dot(v, y)
 	if q < 0 {
 		q = 0
 	}

@@ -55,6 +55,12 @@ type CGOptions struct {
 	// guarded-recovery ladder in lapsolver uses this to escalate early.
 	// Zero disables the check.
 	StagnationWindow int
+	// Pool, if non-nil, runs the solve's vector kernels (dots, AXPYs, mean
+	// projections, the preconditioner sweep) on the given worker pool. The
+	// iteration is bit-identical with and without a pool — reductions use the
+	// fixed-block schedule of parallel.go either way — so Pool only changes
+	// wall clock, never results. Nil runs sequentially.
+	Pool *Pool
 }
 
 // CGScratch holds SolveCG's internal work vectors across calls. The zero
@@ -100,13 +106,14 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 	if scratch == nil {
 		scratch = &CGScratch{}
 	}
+	pool := opts.Pool
 
 	rhs := scratch.take(&scratch.rhs, n)
 	copy(rhs, b)
 	if opts.ProjectMean {
-		rhs.RemoveMean()
+		pool.RemoveMean(rhs)
 	}
-	bnorm := rhs.Norm2()
+	bnorm := pool.Norm2(rhs)
 	x := NewVec(n)
 	if bnorm == 0 {
 		return x, CGResult{}, nil
@@ -117,7 +124,7 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 		}
 		copy(x, opts.X0)
 		if opts.ProjectMean {
-			x.RemoveMean()
+			pool.RemoveMean(x)
 		}
 	}
 
@@ -126,9 +133,12 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 			copy(dst, r)
 			return
 		}
-		for i := range dst {
-			dst[i] = r[i] / opts.Precond[i]
-		}
+		pool.Range(len(dst), func(lo, hi int) {
+			d, rs, pc := dst[lo:hi], r[lo:hi], opts.Precond[lo:hi]
+			for i := range d {
+				d[i] = rs[i] / pc[i]
+			}
+		})
 	}
 
 	r := scratch.take(&scratch.r, n)
@@ -138,34 +148,34 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 	if opts.X0 != nil {
 		// r = b - A x0; from here the iteration is the standard one.
 		a.Apply(z, x)
-		r.AXPY(-1, z)
+		pool.AXPY(r, -1, z)
 		if opts.ProjectMean {
-			r.RemoveMean()
+			pool.RemoveMean(r)
 		}
-		if res := r.Norm2() / bnorm; res <= tol {
+		if res := pool.Norm2(r) / bnorm; res <= tol {
 			return x, CGResult{Iterations: 0, Residual: res}, nil
 		}
 		z.Zero()
 	}
 	applyPrecond(z, r)
 	if opts.ProjectMean {
-		z.RemoveMean()
+		pool.RemoveMean(z)
 	}
 	p := scratch.take(&scratch.p, n)
 	copy(p, z)
 	ap := scratch.take(&scratch.ap, n)
-	rz := r.Dot(z)
+	rz := pool.Dot(r, z)
 
 	var res CGResult
 	bestRes := math.Inf(1)
 	bestIter := 0
 	for k := 0; k < maxIter; k++ {
 		a.Apply(ap, p)
-		pap := p.Dot(ap)
+		pap := pool.Dot(p, ap)
 		if pap <= 0 {
 			// Numerically singular direction; bail with what we have.
 			res.Iterations = k
-			res.Residual = r.Norm2() / bnorm
+			res.Residual = pool.Norm2(r) / bnorm
 			if res.Residual <= tol {
 				return x, res, nil
 			}
@@ -173,16 +183,16 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 				ErrNoConvergence, pap, k, res.Residual)
 		}
 		alpha := rz / pap
-		x.AXPY(alpha, p)
-		r.AXPY(-alpha, ap)
+		pool.AXPY(x, alpha, p)
+		pool.AXPY(r, -alpha, ap)
 		if opts.ProjectMean {
-			r.RemoveMean()
+			pool.RemoveMean(r)
 		}
 		res.Iterations = k + 1
-		res.Residual = r.Norm2() / bnorm
+		res.Residual = pool.Norm2(r) / bnorm
 		if res.Residual <= tol {
 			if opts.ProjectMean {
-				x.RemoveMean()
+				pool.RemoveMean(x)
 			}
 			return x, res, nil
 		}
@@ -192,7 +202,7 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 				bestIter = k
 			} else if k-bestIter >= opts.StagnationWindow {
 				if opts.ProjectMean {
-					x.RemoveMean()
+					pool.RemoveMean(x)
 				}
 				return x, res, fmt.Errorf("%w: residual stuck at %v for %d iterations (best %v at iteration %d)",
 					ErrStagnated, res.Residual, k-bestIter, bestRes, bestIter+1)
@@ -200,17 +210,20 @@ func SolveCG(a Operator, b Vec, opts CGOptions) (Vec, CGResult, error) {
 		}
 		applyPrecond(z, r)
 		if opts.ProjectMean {
-			z.RemoveMean()
+			pool.RemoveMean(z)
 		}
-		rzNew := r.Dot(z)
+		rzNew := pool.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		pool.Range(n, func(lo, hi int) {
+			ps, zs := p[lo:hi], z[lo:hi]
+			for i := range ps {
+				ps[i] = zs[i] + beta*ps[i]
+			}
+		})
 	}
 	if opts.ProjectMean {
-		x.RemoveMean()
+		pool.RemoveMean(x)
 	}
 	return x, res, fmt.Errorf("%w: residual %v after %d iterations (tol %v)",
 		ErrNoConvergence, res.Residual, res.Iterations, tol)
@@ -229,7 +242,7 @@ func LaplacianCGSolver(l *Laplacian, tol float64) func(Vec) (Vec, error) {
 		}
 	}
 	return func(b Vec) (Vec, error) {
-		x, _, err := SolveCG(l, b, CGOptions{Tol: tol, Precond: precond, ProjectMean: true})
+		x, _, err := SolveCG(l, b, CGOptions{Tol: tol, Precond: precond, ProjectMean: true, Pool: l.Pool()})
 		if err != nil {
 			return nil, fmt.Errorf("linalg: internal sparsifier solve: %w", err)
 		}

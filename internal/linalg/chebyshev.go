@@ -56,6 +56,10 @@ type ChebyOptions struct {
 	// prescribed iteration count — keeping round accounting identical to a
 	// run without the window. Zero treats every flat stretch as stagnation.
 	StagnationTol float64
+	// Pool, if non-nil, runs the iteration's vector updates and residual
+	// norms on the given worker pool. Like CGOptions.Pool, results are
+	// bit-identical with and without it. Nil runs sequentially.
+	Pool *Pool
 }
 
 // ChebyResult reports a PreconCheby run.
@@ -90,6 +94,7 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 	theta := (lamMax + lamMin) / 2
 	delta := (lamMax - lamMin) / 2
 
+	pool := opts.Pool
 	x := NewVec(n)
 	r := b.Clone()
 	av := NewVec(n)
@@ -102,13 +107,13 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 		// seeding them here is the entire warm start.
 		copy(x, opts.X0)
 		a.Apply(av, x)
-		r.AXPY(-1, av)
+		pool.AXPY(r, -1, av)
 	}
 
 	// Plateau detection state; bnorm stays zero when the check is disabled.
 	var bnorm float64
 	if opts.StagnationWindow > 0 {
-		bnorm = b.Norm2()
+		bnorm = pool.Norm2(b)
 	}
 	prevRes := -1.0
 	flat := 0
@@ -116,7 +121,7 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 		if bnorm == 0 {
 			return false, nil
 		}
-		res := r.Norm2() / bnorm
+		res := pool.Norm2(r) / bnorm
 		if prevRes >= 0 && math.Abs(res-prevRes) <= stagnationImprovement*prevRes {
 			flat++
 		} else {
@@ -140,11 +145,11 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 			if err != nil {
 				return nil, ChebyResult{}, err
 			}
-			z.Scale(1 / theta)
-			x.AXPY(1, z)
+			pool.Scale(z, 1/theta)
+			pool.AXPY(x, 1, z)
 			a.Apply(av, x)
 			copy(r, b)
-			r.AXPY(-1, av)
+			pool.AXPY(r, -1, av)
 			if stuck, err := stagnated(k); stuck {
 				return x, ChebyResult{Iterations: k + 1}, err
 			}
@@ -163,16 +168,16 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 		return nil, ChebyResult{}, err
 	}
 	d := z.Clone()
-	d.Scale(1 / theta)
+	pool.Scale(d, 1/theta)
 
 	count := 1
 	for k := 1; k < iters; k++ {
 		if opts.OnIteration != nil {
 			opts.OnIteration()
 		}
-		x.AXPY(1, d)
+		pool.AXPY(x, 1, d)
 		a.Apply(av, d)
-		r.AXPY(-1, av)
+		pool.AXPY(r, -1, av)
 		if stuck, serr := stagnated(k); stuck {
 			return x, ChebyResult{Iterations: count}, serr
 		}
@@ -181,13 +186,16 @@ func PreconCheby(a Operator, bSolve func(Vec) (Vec, error), b Vec, opts ChebyOpt
 			return nil, ChebyResult{}, err
 		}
 		rhoNext := 1 / (2*sigma - rho)
-		for i := range d {
-			d[i] = rhoNext*rho*d[i] + 2*rhoNext/delta*z[i]
-		}
+		pool.Range(n, func(lo, hi int) {
+			ds, zs := d[lo:hi], z[lo:hi]
+			for i := range ds {
+				ds[i] = rhoNext*rho*ds[i] + 2*rhoNext/delta*zs[i]
+			}
+		})
 		rho = rhoNext
 		count++
 	}
-	x.AXPY(1, d)
+	pool.AXPY(x, 1, d)
 	return x, ChebyResult{Iterations: count}, nil
 }
 

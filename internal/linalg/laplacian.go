@@ -3,6 +3,7 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lapcc/internal/graph"
 )
@@ -36,6 +37,17 @@ type Laplacian struct {
 	cu, cv []int32 // coalesced off-diagonal: distinct vertex pairs ...
 	cw     Vec     // ... and the summed weight per pair
 	egroup []int32 // edge index -> pair index
+	gen    uint64  // graph topology generation the pair cache was built at
+
+	pool *Pool // nil = sequential Apply (the historical path)
+
+	// CSR over pair incidences, built only when a pool is attached: row u
+	// lists the pairs touching u in ascending pair order, which makes the
+	// row-parallel Apply accumulate each dst[u] in exactly the sequential
+	// pair loop's floating-point order (owner-computes, no merge).
+	rowPtr   []int32 // n+1 offsets into rowPair/rowOther
+	rowPair  []int32 // pair index per incidence
+	rowOther []int32 // opposite endpoint per incidence
 }
 
 var _ Operator = (*Laplacian)(nil)
@@ -97,7 +109,54 @@ func (l *Laplacian) buildPairs() {
 		}
 	}
 	l.cw = NewVec(len(l.cu))
+	l.gen = l.g.Gen()
+	l.rowPtr = nil // pair indices changed; rebuild incidence rows if pooled
+	if l.pool != nil {
+		l.buildRows()
+	}
 }
+
+// buildRows constructs the CSR incidence rows over the coalesced pairs.
+// Filling in ascending pair order keeps each row's pair list sorted, the
+// property the parallel Apply's bit-identity rests on.
+func (l *Laplacian) buildRows() {
+	n := l.g.N()
+	ptr := make([]int32, n+1)
+	for i := range l.cu {
+		ptr[l.cu[i]+1]++
+		ptr[l.cv[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		ptr[v+1] += ptr[v]
+	}
+	nnz := ptr[n]
+	l.rowPtr = ptr
+	l.rowPair = make([]int32, nnz)
+	l.rowOther = make([]int32, nnz)
+	fill := make([]int32, n)
+	copy(fill, ptr[:n])
+	for i := range l.cu {
+		u, v := l.cu[i], l.cv[i]
+		l.rowPair[fill[u]], l.rowOther[fill[u]] = int32(i), v
+		fill[u]++
+		l.rowPair[fill[v]], l.rowOther[fill[v]] = int32(i), u
+		fill[v]++
+	}
+}
+
+// SetPool attaches a worker pool for Apply and Quad (nil reverts to the
+// sequential path). Attaching a pool builds the CSR incidence rows once, so
+// concurrent Applies afterwards are read-only on the operator. Results are
+// bit-identical with and without a pool; see parallel.go for the contract.
+func (l *Laplacian) SetPool(p *Pool) {
+	l.pool = p
+	if p != nil && l.rowPtr == nil {
+		l.buildRows()
+	}
+}
+
+// Pool returns the attached worker pool (nil when sequential).
+func (l *Laplacian) Pool() *Pool { return l.pool }
 
 // Graph returns the underlying graph.
 func (l *Laplacian) Graph() *graph.Graph { return l.g }
@@ -107,9 +166,15 @@ func (l *Laplacian) Graph() *graph.Graph { return l.g }
 // place (graph.SetWeight); the summations run in the same edge order as
 // NewLaplacian, so a refreshed Laplacian is bit-identical to one built fresh
 // on the same weights.
+//
+// The pair grouping itself is rebuilt when the graph's topology generation
+// moved since the cache was built. Comparing generations rather than edge
+// counts matters: a RewireEdge keeps M constant but changes which pair each
+// edge belongs to, and a count-based guard would silently reuse the stale
+// grouping and produce a wrong operator.
 func (l *Laplacian) Refresh() {
-	if len(l.egroup) != l.g.M() {
-		l.buildPairs() // edges were added since construction
+	if len(l.egroup) != l.g.M() || l.gen != l.g.Gen() {
+		l.buildPairs() // topology changed since construction
 	}
 	l.deg.Zero()
 	l.cw.Zero()
@@ -127,28 +192,79 @@ func (l *Laplacian) Dim() int { return l.g.N() }
 // must not modify it.
 func (l *Laplacian) Degrees() Vec { return l.deg }
 
-// Apply computes dst = L*src over the coalesced pair list.
+// applyRowBlock is the vertex-block grain of the row-parallel Apply. Blocks
+// are claimed dynamically, so ragged incidence rows balance out; the value
+// only shifts scheduling, never results.
+const applyRowBlock = 512
+
+// Apply computes dst = L*src. Without a pool it runs the sequential
+// coalesced-pair loop; with one it sweeps the CSR incidence rows with the
+// output partitioned across workers. The two paths accumulate every dst[u]
+// in the same floating-point order — diagonal first, then the incident pairs
+// by ascending pair index — so Apply is bit-identical at any worker count.
 func (l *Laplacian) Apply(dst, src Vec) {
-	for i := range dst {
-		dst[i] = l.deg[i] * src[i]
+	kernelCalls(kernelApply)
+	p := l.pool
+	if p == nil {
+		for i := range dst {
+			dst[i] = l.deg[i] * src[i]
+		}
+		cu, cv := l.cu, l.cv
+		for i, w := range l.cw {
+			u, v := cu[i], cv[i]
+			dst[u] -= w * src[v]
+			dst[v] -= w * src[u]
+		}
+		return
 	}
-	cu, cv := l.cu, l.cv
-	for i, w := range l.cw {
-		u, v := cu[i], cv[i]
-		dst[u] -= w * src[v]
-		dst[v] -= w * src[u]
-	}
+	n := len(dst)
+	nb := (n + applyRowBlock - 1) / applyRowBlock
+	p.ForBlocks(nb, func(b int) {
+		lo, hi := b*applyRowBlock, (b+1)*applyRowBlock
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			s := l.deg[u] * src[u]
+			for k := l.rowPtr[u]; k < l.rowPtr[u+1]; k++ {
+				s -= l.cw[l.rowPair[k]] * src[l.rowOther[k]]
+			}
+			dst[u] = s
+		}
+	})
 }
 
 // Quad returns the quadratic form x^T L x = sum_e w_e (x_u - x_v)^2,
-// computed in the numerically stable edge-difference form.
+// computed in the numerically stable edge-difference form under the fixed
+// block partition of parallel.go (edge lists up to one block reduce in plain
+// order; the partition depends only on m, so the result is bit-identical at
+// any worker count).
 func (l *Laplacian) Quad(x Vec) float64 {
-	var q float64
-	for _, e := range l.g.Edges() {
-		d := x[e.U] - x[e.V]
-		q += e.W * d * d
+	edges := l.g.Edges()
+	m := len(edges)
+	if m <= reduceBlock {
+		var q float64
+		for _, e := range edges {
+			d := x[e.U] - x[e.V]
+			q += e.W * d * d
+		}
+		return q
 	}
-	return q
+	nb := reduceBlocks(m)
+	sp := getParts(nb)
+	parts := *sp
+	l.pool.ForBlocks(nb, func(b int) {
+		lo, hi := blockSpan(m, b)
+		var q float64
+		for _, e := range edges[lo:hi] {
+			d := x[e.U] - x[e.V]
+			q += e.W * d * d
+		}
+		parts[b] = q
+	})
+	r := treeReduce(parts)
+	partsPool.Put(sp)
+	return r
 }
 
 // Norm returns the L-norm ||x||_L = sqrt(x^T L x).
@@ -168,7 +284,8 @@ func (l *Laplacian) Dense() *Dense {
 	return d
 }
 
-// ScaledOperator wraps A with a scalar multiple: (c*A) x = c * (A x).
+// ScaledOperator wraps A with a scalar multiple: (c*A) x = c * (A x). It is
+// stateless, so concurrent Applies are safe whenever A's are.
 type ScaledOperator struct {
 	A Operator
 	C float64
@@ -185,10 +302,14 @@ func (s *ScaledOperator) Apply(dst, src Vec) {
 	dst.Scale(s.C)
 }
 
-// SumOperator is the sum of operators of equal dimension.
+// SumOperator is the sum of operators of equal dimension. Apply draws its
+// scratch vector from a per-operator pool instead of a shared field, so
+// concurrent Applies of one composed operator — the per-slot session solves
+// run in parallel — each work on private scratch and are safe whenever the
+// terms' Applies are.
 type SumOperator struct {
-	Terms []Operator
-	tmp   Vec
+	Terms   []Operator
+	scratch sync.Pool // of Vec sized to Dim()
 }
 
 var _ Operator = (*SumOperator)(nil)
@@ -205,7 +326,7 @@ func NewSumOperator(terms ...Operator) (*SumOperator, error) {
 			return nil, fmt.Errorf("linalg: operator dimensions %d and %d differ", n, t.Dim())
 		}
 	}
-	return &SumOperator{Terms: terms, tmp: NewVec(n)}, nil
+	return &SumOperator{Terms: terms}, nil
 }
 
 // Dim returns the common dimension.
@@ -213,9 +334,14 @@ func (s *SumOperator) Dim() int { return s.Terms[0].Dim() }
 
 // Apply computes dst = sum_i (term_i * src).
 func (s *SumOperator) Apply(dst, src Vec) {
+	tmp, _ := s.scratch.Get().(Vec)
+	if len(tmp) != len(dst) {
+		tmp = NewVec(len(dst))
+	}
 	dst.Zero()
 	for _, t := range s.Terms {
-		t.Apply(s.tmp, src)
-		dst.AXPY(1, s.tmp)
+		t.Apply(tmp, src)
+		dst.AXPY(1, tmp)
 	}
+	s.scratch.Put(tmp)
 }

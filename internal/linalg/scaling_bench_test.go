@@ -1,0 +1,91 @@
+package linalg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// scalingWorkers are the worker counts of the recorded scaling curve
+// (BENCH_scaling.json via `make bench-scaling`). Results are bit-identical
+// across the sweep — the differential suite pins that — so the curve
+// measures wall clock only.
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// scalingN is the vertex count of the scaling instance: several reduce
+// blocks long, so the blocked kernels actually split work, yet small enough
+// for a 1s benchtime sweep.
+const scalingN = 20000
+
+func scalingInstance(b *testing.B) (*graph.Graph, *linalg.Laplacian) {
+	b.Helper()
+	g, err := graph.RandomRegular(scalingN, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, linalg.NewLaplacian(g)
+}
+
+// BenchmarkScaling records the worker-scaling curve of the parallel
+// numerical core: the blocked Laplacian matvec, the blocked dot reduction,
+// and a full preconditioned CG solve, each at 1/2/4/8 workers. The figures
+// depend on GOMAXPROCS by design, so benchgate's scaling suite keeps the
+// procs tag in the recorded names and only compares runs at matching procs.
+func BenchmarkScaling(b *testing.B) {
+	_, l := scalingInstance(b)
+	src := linalg.NewVec(scalingN)
+	for i := range src {
+		src[i] = float64(i%101) - 50
+	}
+	dst := linalg.NewVec(scalingN)
+
+	b.Run("apply", func(b *testing.B) {
+		for _, w := range scalingWorkers {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				l.SetPool(linalg.SharedPool(w))
+				defer l.SetPool(nil)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.Apply(dst, src)
+				}
+			})
+		}
+	})
+
+	b.Run("dot", func(b *testing.B) {
+		for _, w := range scalingWorkers {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				pool := linalg.SharedPool(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = pool.Dot(src, src)
+				}
+			})
+		}
+	})
+
+	b.Run("cg", func(b *testing.B) {
+		precond := l.Degrees().Clone()
+		rhs := linalg.NewVec(scalingN)
+		rhs[0], rhs[scalingN-1] = 1, -1
+		scratch := &linalg.CGScratch{}
+		for _, w := range scalingWorkers {
+			b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+				l.SetPool(linalg.SharedPool(w))
+				defer l.SetPool(nil)
+				opts := linalg.CGOptions{
+					Tol: 1e-8, Precond: precond, ProjectMean: true,
+					Scratch: scratch, Pool: l.Pool(),
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := linalg.SolveCG(l, rhs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}

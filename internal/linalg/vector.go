@@ -36,15 +36,17 @@ func (v Vec) Zero() {
 
 // Dot returns the inner product of v and w. It panics on length mismatch,
 // which always indicates a programming error rather than bad input.
+//
+// The reduction is the package's single numeric definition of a dot product
+// — the fixed-block, fixed-order tree reduction of parallel.go run on the
+// sequential (nil) pool — so Dot agrees bit-for-bit with the pooled kernel
+// at any worker count. Vectors up to one block (reduceBlock entries) reduce
+// in the plain left-to-right order.
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("linalg: dot of vectors with lengths %d and %d", len(v), len(w)))
 	}
-	var s float64
-	for i := range v {
-		s += v[i] * w[i]
-	}
-	return s
+	return (*Pool)(nil).Dot(v, w)
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -92,14 +94,9 @@ func (v Vec) Add(w Vec) Vec {
 	return r
 }
 
-// Sum returns the sum of the entries of v.
-func (v Vec) Sum() float64 {
-	var s float64
-	for _, x := range v {
-		s += x
-	}
-	return s
-}
+// Sum returns the sum of the entries of v, under the same fixed-block
+// reduction as Dot (see parallel.go).
+func (v Vec) Sum() float64 { return (*Pool)(nil).Sum(v) }
 
 // Mean returns the average entry of v (0 for the empty vector).
 func (v Vec) Mean() float64 {
@@ -121,7 +118,9 @@ func (v Vec) RemoveMean() {
 
 // RemoveMeanOn subtracts, for each index group, the group's mean — the
 // per-connected-component generalization of RemoveMean. comp[i] gives the
-// component id of index i; ids must be in [0, numComp).
+// component id of index i; ids must be in [0, numComp). Component ids with
+// no members are skipped: their (undefined, 0/0) mean is never formed, so an
+// empty group can never inject NaN into the vector.
 func (v Vec) RemoveMeanOn(comp []int, numComp int) {
 	if len(comp) != len(v) {
 		panic(fmt.Sprintf("linalg: component labels length %d for vector length %d", len(comp), len(v)))
@@ -132,8 +131,14 @@ func (v Vec) RemoveMeanOn(comp []int, numComp int) {
 		sums[c] += v[i]
 		counts[c]++
 	}
+	means := make([]float64, numComp)
+	for c := range means {
+		if counts[c] > 0 {
+			means[c] = sums[c] / float64(counts[c])
+		}
+	}
 	for i, c := range comp {
-		v[i] -= sums[c] / float64(counts[c])
+		v[i] -= means[c]
 	}
 }
 

@@ -60,6 +60,13 @@ type Options struct {
 	// ledger's cost stream, and is propagated to every stage of the
 	// pipeline. A nil registry records nothing and costs nothing.
 	Metrics *metrics.Registry
+	// Workers sets the worker count for the run's numerical kernels —
+	// the per-iteration electrical solves and (on the Full path) the
+	// sparsifier builds (0 = GOMAXPROCS, 1 = sequential). The IPM's
+	// augmentation and fixing solves are data-dependent and stay
+	// sequential; Workers parallelizes inside each solve. The flow is
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -272,7 +279,7 @@ func newIPMState(dg *graph.DiGraph, s, t int, fstar int64, opts Options) (*ipmSt
 	// the support (internal measurement; see DESIGN.md).
 	if opts.FastSolve {
 		support := st.supportGraph(nil)
-		sres, err := sparsify.Sparsify(support, sparsify.Options{Metrics: opts.Metrics})
+		sres, err := sparsify.Sparsify(support, sparsify.Options{Metrics: opts.Metrics, Workers: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("maxflow: calibrating solver charge: %w", err)
 		}
@@ -357,10 +364,10 @@ func (st *ipmState) sessionSolve(w []float64, b linalg.Vec, slot string) (linalg
 		// drift shifts the trajectory and with it the charged-round total.
 		// The session's win here is structural reuse; cold solves keep the
 		// path bit-identical to a fresh build every iteration.
-		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget, Metrics: st.opts.Metrics}
+		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget, Metrics: st.opts.Metrics, Workers: st.opts.Workers}
 		if !st.opts.FastSolve {
 			opts.Full = true
-			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults}
+			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Workers: st.opts.Workers}
 		}
 		sess, err := electrical.NewSession(st.supportGraph(w), opts)
 		if err != nil {
@@ -380,9 +387,10 @@ func (st *ipmState) solveFreshBaseline(w []float64, b linalg.Vec) (linalg.Vec, e
 	support := st.supportGraph(w)
 	if st.opts.FastSolve {
 		lg := linalg.NewLaplacian(support)
+		lg.SetPool(linalg.SharedPool(st.opts.Workers))
 		return linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(b)
 	}
-	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Metrics: st.opts.Metrics})
+	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Metrics: st.opts.Metrics, Workers: st.opts.Workers})
 	if err != nil {
 		return nil, err
 	}

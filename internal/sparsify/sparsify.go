@@ -80,6 +80,14 @@ type Options struct {
 	// parts, chain reuse decisions) and a mirror of the ledger's cost
 	// stream; a nil registry records nothing and costs nothing.
 	Metrics *metrics.Registry
+	// Workers sets the worker count for the per-part product-demand builds
+	// within each decomposition level (0 = GOMAXPROCS, 1 = sequential).
+	// Levels stay sequential — each level's input is the previous level's
+	// crossing edges — but the certified parts of one level are independent,
+	// and their pieces are merged into H in part order, so the sparsifier is
+	// bit-identical at any worker count. Round accounting is untouched:
+	// parallelism is internal computation, which is free in the model.
+	Workers int
 }
 
 func (o *Options) defaults(m int) {
@@ -229,6 +237,17 @@ func sparsifyLevel(g *graph.Graph, curp *[]int, level int, scale float64, opts O
 		return levelOutcome{err: fmt.Errorf("crossing fraction %.3f exceeds eps %.3f at level %d", frac, opts.Eps, level)}
 	}
 
+	// Collect the certified parts first (serial: part counting and subgraph
+	// validation keep their historical order), then build the per-part
+	// product-demand pieces concurrently — parts are independent — and merge
+	// them into H strictly in part order. Edge order, weights, and counters
+	// are therefore identical at any worker count.
+	type partJob struct {
+		sub   *graph.Graph
+		orig  []int
+		piece *graph.Graph
+	}
+	var jobs []partJob
 	for _, part := range dec.Parts {
 		if len(part) < 2 {
 			continue
@@ -241,9 +260,15 @@ func sparsifyLevel(g *graph.Graph, curp *[]int, level int, scale float64, opts O
 			continue
 		}
 		res.Parts++
-		piece := productDemandSparsifier(sub, opts.SmallPartCutoff)
-		for _, e := range piece.Edges() {
-			res.H.MustAddEdge(orig[e.U], orig[e.V], e.W*scale*phiBoost(phi))
+		jobs = append(jobs, partJob{sub: sub, orig: orig})
+	}
+	pool := linalg.SharedPool(opts.Workers)
+	pool.ForBlocks(len(jobs), func(i int) {
+		jobs[i].piece = productDemandSparsifier(jobs[i].sub, opts.SmallPartCutoff)
+	})
+	for _, j := range jobs {
+		for _, e := range j.piece.Edges() {
+			res.H.MustAddEdge(j.orig[e.U], j.orig[e.V], e.W*scale*phiBoost(phi))
 		}
 	}
 
