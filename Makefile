@@ -26,7 +26,7 @@ define run-bench
 $(GO) test -run xxx -bench '$(1)' -benchmem -benchtime $(BENCHTIME) $(2)
 endef
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults serve-smoke
 
 all: build
 
@@ -99,4 +99,22 @@ bench-faults:
 trace-smoke:
 	$(GO) test -count=1 -run TestTraceSmoke ./internal/trace/
 
-check: fmt-check vet build race bench-smoke trace-smoke
+# Serving-layer smoke + gate: build lapccd, start it on a loopback port,
+# replay the deterministic loadgen mix against it with -gate, and shut it
+# down. The gate diffs the run's ns-per-request against BENCH_serve.json
+# (seeded from the first run when missing) under the serve tolerance;
+# per-op p50/p99 are printed and recorded but not gated — under
+# concurrency they measure queueing luck, not solver speed. Unlike the
+# timing suites, the aggregate figure at a generous ratio is stable
+# enough to run everywhere, so this target is part of `make check`.
+SERVE_ADDR ?= 127.0.0.1:18080
+
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/lapccd ./cmd/lapccd; \
+	$(GO) build -o $$tmp/loadgen ./cmd/loadgen; \
+	$$tmp/lapccd -addr $(SERVE_ADDR) >$$tmp/lapccd.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$$tmp/loadgen -base http://$(SERVE_ADDR) -gate
+
+check: fmt-check vet build race bench-smoke trace-smoke serve-smoke

@@ -1,0 +1,85 @@
+// Command lapccd is the solver-as-a-service daemon: it serves the facade's
+// algorithms over HTTP/JSON (see internal/serve for the wire format and the
+// endpoint list) with pooled per-topology sessions, bounded-inflight
+// admission control, and per-request round/wall budgets.
+//
+//	go run ./cmd/lapccd -addr 127.0.0.1:8080
+//	curl -s localhost:8080/v1/solve -d '{"graph":{"n":3,"edges":[[0,1,1],[1,2,1]]},"rhs":[[1,0,-1]]}'
+//	curl -s localhost:8080/v1/stats
+//
+// Repeat topologies (same vertex count and edge list, any weights) hit the
+// session pool and skip the Theorem 3.3 preprocessing; responses stay
+// bit-identical to direct library calls. The /metrics, /metrics.json, and
+// /debug/pprof/ endpoints expose the live registry of the whole stack.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
+	"lapcc/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lapccd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		poolSize = flag.Int("pool", 8, "pooled sessions per op kind (LRU-evicted beyond this)")
+		inflight = flag.Int("max-inflight", 0, "admitted concurrent requests; excess sheds with 429 (0 = 2*GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS); results are bit-identical at any setting")
+	)
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	cc.SetMetrics(reg)
+	linalg.SetMetrics(reg)
+	defer func() {
+		cc.SetMetrics(nil)
+		linalg.SetMetrics(nil)
+	}()
+
+	srv := serve.New(serve.Options{
+		PoolSize:    *poolSize,
+		MaxInflight: *inflight,
+		Workers:     *workers,
+		Metrics:     reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("lapccd: serving on http://%s (pool %d, stats at /v1/stats)\n", ln.Addr(), *poolSize)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("lapccd: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

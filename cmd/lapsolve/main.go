@@ -140,7 +140,7 @@ func run() error {
 // through one LaplacianSession: the sparsifier is preprocessed once and the
 // per-solve round delta is reported for each right-hand side.
 func runSession(g *graph.Graph, source, sink int, eps float64, k int, ro core.RunOptions) (err error) {
-	sess, err := core.NewLaplacianSessionWith(g, ro)
+	sess, err := core.NewLaplacianSession(g, core.SessionOptions{Run: ro, Warm: true})
 	if err != nil {
 		return err
 	}

@@ -29,7 +29,7 @@ func run() error {
 	}
 	fmt.Printf("graph: n=%d m=%d (union of 40 random cycles)\n", g.N(), g.M())
 
-	res, err := core.EulerianOrient(g)
+	res, err := core.EulerianOrientWith(g, core.RunOptions{})
 	if err != nil {
 		return err
 	}

@@ -30,7 +30,7 @@ func run() error {
 	fmt.Printf("network: n=%d m=%d U=%d, source %d -> sink %d\n",
 		dg.N(), dg.M(), dg.MaxCapacity(), s, t)
 
-	res, err := core.MaxFlow(dg, s, t)
+	res, err := core.MaxFlowWith(dg, s, t, core.RunOptions{})
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,7 @@ func run() error {
 	fmt.Printf("assignment: %d workers, %d tasks, %d compatibility arcs, W=%d\n",
 		workers, tasks, dg.M(), dg.MaxCost())
 
-	res, err := core.MinCostFlow(dg, sigma)
+	res, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{})
 	if err != nil {
 		return err
 	}

@@ -35,7 +35,7 @@ func run() error {
 	b[n-1] = -1
 
 	const eps = 1e-8
-	res, err := core.SolveLaplacian(g, b, eps)
+	res, err := core.SolveLaplacianWith(g, b, eps, core.RunOptions{})
 	if err != nil {
 		return err
 	}

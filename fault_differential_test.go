@@ -28,7 +28,7 @@ func TestFaultDifferentialLapsolver(t *testing.T) {
 	}
 	b := linalg.NewVec(48)
 	b[0], b[47] = 1, -1
-	clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+	clean, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestFaultDifferentialLapsolver(t *testing.T) {
 func TestFaultDifferentialMaxflow(t *testing.T) {
 	dg := graph.LayeredDAG(3, 4, 2, 8, 21)
 	s, tt := 0, dg.N()-1
-	clean, err := core.MaxFlow(dg, s, tt)
+	clean, err := core.MaxFlowWith(dg, s, tt, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestFaultDifferentialMinCostFlow(t *testing.T) {
 	dg.MustAddArc(2, 5, 1, 2)
 	dg.MustAddArc(4, 5, 1, 1)
 	sigma := []int64{1, 1, 0, 0, 0, -2}
-	clean, err := core.MinCostFlow(dg, sigma)
+	clean, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFaultDifferentialEuler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := core.EulerianOrient(g)
+	clean, err := core.EulerianOrientWith(g, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFaultDifferentialSeedSweep(t *testing.T) {
 	}
 	b := linalg.NewVec(32)
 	b[0], b[31] = 1, -1
-	clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+	clean, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func TestScenarioElectricalToFlow(t *testing.T) {
 	b := linalg.NewVec(g.N())
 	b[0] = 1
 	b[g.N()-1] = -1
-	lres, err := core.SolveLaplacian(g, b, 1e-8)
+	lres, err := core.SolveLaplacianWith(g, b, 1e-8, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestScenarioElectricalToFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fres, err := core.MaxFlow(dg, s, tt)
+	fres, err := core.MaxFlowWith(dg, s, tt, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestScenarioLogisticsPipeline(t *testing.T) {
 		sigma[d] = 1
 		sigma[depots+d]--
 	}
-	res, err := core.MinCostFlow(dg, sigma)
+	res, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestScenarioRoundingChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ores, err := core.EulerianOrient(g)
+	ores, err := core.EulerianOrientWith(g, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestScenarioRoundingChain(t *testing.T) {
 	dg.MustAddArc(0, 2, 4, 5)
 	dg.MustAddArc(2, 3, 4, 5)
 	f := []float64{0.625, 0.625, 0.375, 0.375}
-	rres, err := core.RoundFlow(dg, f, 0, 3, 1.0/8, true)
+	rres, err := core.RoundFlowWith(core.RoundFlowRequest{Graph: dg, Flow: f, Source: 0, Sink: 3, Delta: 1.0 / 8, UseCosts: true}, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func MeasureFaultWorkloads() (map[string]Workload, error) {
 		}
 		b := linalg.NewVec(48)
 		b[0], b[47] = 1, -1
-		clean, err := core.SolveLaplacian(g.Clone(), b, 1e-8)
+		clean, err := core.SolveLaplacianWith(g.Clone(), b, 1e-8, core.RunOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("lapsolver clean: %w", err)
 		}
@@ -57,7 +57,7 @@ func MeasureFaultWorkloads() (map[string]Workload, error) {
 	{
 		dg := graph.LayeredDAG(3, 4, 2, 8, 21)
 		s, t := 0, dg.N()-1
-		clean, err := core.MaxFlow(dg, s, t)
+		clean, err := core.MaxFlowWith(dg, s, t, core.RunOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("maxflow clean: %w", err)
 		}
@@ -80,7 +80,7 @@ func MeasureFaultWorkloads() (map[string]Workload, error) {
 		dg.MustAddArc(2, 5, 1, 2)
 		dg.MustAddArc(4, 5, 1, 1)
 		sigma := []int64{1, 1, 0, 0, 0, -2}
-		clean, err := core.MinCostFlow(dg, sigma)
+		clean, err := core.MinCostFlowWith(dg, sigma, core.RunOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("mcmf clean: %w", err)
 		}
@@ -98,7 +98,7 @@ func MeasureFaultWorkloads() (map[string]Workload, error) {
 		if err != nil {
 			return nil, fmt.Errorf("euler workload: %w", err)
 		}
-		clean, err := core.EulerianOrient(g)
+		clean, err := core.EulerianOrientWith(g, core.RunOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("euler clean: %w", err)
 		}

@@ -21,6 +21,14 @@ type Suite struct {
 	Packages []string // package patterns
 	// Measure re-computes deterministic results in-process (round suites).
 	Measure func() (map[string]Workload, error)
+	// MeasureBench re-measures benchmark-shaped ns/op figures in-process
+	// (the serve suite: an in-process daemon driven by the deterministic
+	// loadgen workload).
+	MeasureBench func() (map[string]Metrics, error)
+	// Tol, if non-nil, overrides the gate-wide tolerance for this suite.
+	// The serve suite uses it: end-to-end latencies need a wider ns ratio
+	// than microbenchmarks.
+	Tol *Tolerance
 	// KeepProcs records the GOMAXPROCS suffix in normalised names instead of
 	// stripping it, and restricts the diff to procs levels the fresh run
 	// measured. Set for suites whose figures depend on the processor count.
@@ -59,6 +67,13 @@ var Suites = []Suite{
 		Packages:  []string{"./internal/linalg/"},
 		KeepProcs: true,
 		Bootstrap: true,
+	},
+	{
+		Name:         "serve",
+		Baseline:     "BENCH_serve.json",
+		MeasureBench: MeasureServeWorkload,
+		Tol:          &ServeTolerance,
+		Bootstrap:    true,
 	},
 }
 
@@ -133,7 +148,19 @@ func GateSuite(s Suite, dir, benchtime, recorded string, tol Tolerance, echo io.
 		fresh.Recorded = recorded
 	}
 
+	if s.Tol != nil {
+		tol = *s.Tol
+	}
 	res := &Result{Suite: s, Baseline: base, Fresh: &fresh}
+	if s.MeasureBench != nil {
+		got, err := s.MeasureBench()
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", s.Name, err)
+		}
+		fresh.Benchmarks = got
+		res.Regressions = Diff(base.Benchmarks, got, tol)
+		return res, nil
+	}
 	if s.Measure != nil {
 		got, err := s.Measure()
 		if err != nil {

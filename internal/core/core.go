@@ -3,12 +3,20 @@
 // Clique" (Forster & de Vos, PODC 2023), each returning both the answer and
 // a round report.
 //
-//   - SolveLaplacian   — Theorem 1.1: n^{o(1)} log(U/eps)-round solver
-//   - MaxFlow          — Theorem 1.2: m^{3/7+o(1)} U^{1/7}-round max flow
-//   - MinCostFlow      — Theorem 1.3: Õ(m^{3/7}(n^0.158 + polylog W)) rounds
-//   - EulerianOrient   — Theorem 1.4: O(log n log* n) rounds
-//   - Sparsify         — Theorem 3.3: deterministic spectral sparsifier
-//   - RoundFlow        — Lemma 4.2: Cohen rounding in O(log n log* n log(1/Δ))
+//   - SolveLaplacianWith — Theorem 1.1: n^{o(1)} log(U/eps)-round solver
+//   - MaxFlowWith        — Theorem 1.2: m^{3/7+o(1)} U^{1/7}-round max flow
+//   - MinCostFlowWith    — Theorem 1.3: Õ(m^{3/7}(n^0.158 + polylog W)) rounds
+//   - EulerianOrientWith — Theorem 1.4: O(log n log* n) rounds
+//   - SparsifyWith       — Theorem 3.3: deterministic spectral sparsifier
+//   - RoundFlowWith      — Lemma 4.2: Cohen rounding in O(log n log* n log(1/Δ))
+//
+// Each algorithm has exactly one canonical entry point, taking RunOptions
+// for the cross-cutting knobs (tracing, faults, budgets, metrics, workers);
+// the zero options value is a plain run. On top of them, Do(Request) is the
+// request-oriented form the serving daemon and the CLIs use: one Op tag, one
+// graph, one Args struct — the in-process mirror of the daemon's JSON
+// surface. The historical plain and Traced name variants survive as
+// deprecated one-line shims in deprecated.go for one release.
 //
 // Lower-level control (options, ablations, oracles, baselines) lives in the
 // internal packages; this facade wires them together with a shared ledger.
@@ -79,7 +87,7 @@ func report(led *rounds.Ledger) RoundReport {
 	}
 }
 
-// LaplacianResult is the output of SolveLaplacian.
+// LaplacianResult is the output of SolveLaplacianWith.
 type LaplacianResult struct {
 	// X approximates L_G^+ b with ||X - L^+b||_L <= eps ||L^+b||_L.
 	X linalg.Vec
@@ -90,19 +98,9 @@ type LaplacianResult struct {
 	Rounds          RoundReport
 }
 
-// SolveLaplacian solves L_G x = b to relative precision eps in the L_G
-// norm (Theorem 1.1). g must be connected with positive edge weights.
-func SolveLaplacian(g *graph.Graph, b linalg.Vec, eps float64) (*LaplacianResult, error) {
-	return SolveLaplacianTraced(g, b, eps, nil)
-}
-
-// SolveLaplacianTraced is SolveLaplacian recording spans into tr (nil for
-// no tracing).
-func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.Tracer) (*LaplacianResult, error) {
-	return SolveLaplacianWith(g, b, eps, RunOptions{Trace: tr})
-}
-
-// SolveLaplacianWith is SolveLaplacian under the given robustness options.
+// SolveLaplacianWith solves L_G x = b to relative precision eps in the L_G
+// norm (Theorem 1.1) under the given run options. g must be connected with
+// positive edge weights.
 func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions) (*LaplacianResult, error) {
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
@@ -124,37 +122,46 @@ func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions
 	}, nil
 }
 
-// LaplacianSession is SolveLaplacian in build-once/solve-many form: the
+// SessionOptions configures NewLaplacianSession.
+type SessionOptions struct {
+	// Run carries the cross-cutting knobs shared with the one-shot entry
+	// points; the session binds them once at construction.
+	Run RunOptions
+	// Warm seeds every solve from the previous accepted potentials and
+	// kappa (lapsolver.Options.WarmStart). Convergence is still judged by
+	// the usual residual certificate and charged rounds match a fresh
+	// solver exactly, but the returned potentials may differ from a cold
+	// solve in low-order bits — both within the eps certificate. Callers
+	// that need pooled responses bit-identical to fresh runs (the serving
+	// layer's differential contract) leave it off.
+	Warm bool
+	// ExactReuse restricts Reweight's sparsifier-chain policy to tier-1
+	// reuse (unchanged weight-class partition, where reuse is bit-identical
+	// to a rebuild) and rebuilds otherwise, instead of the default
+	// α-drift-certified reuse tiers. Same differential motivation as Warm.
+	ExactReuse bool
+}
+
+// LaplacianSession is SolveLaplacianWith in build-once/solve-many form: the
 // Theorem 1.1 preprocessing (sparsifier chain, solver scratch) runs once at
 // construction, after which any number of right-hand sides — and, via
 // Reweight, any number of weight settings on the fixed topology — are
-// solved against the same structure. Solves are warm-started from previous
-// potentials, which changes wall clock only: iteration counts, convergence
-// certificates, and charged rounds are exactly those of a fresh solver.
+// solved against the same structure.
 type LaplacianSession struct {
 	solver *lapsolver.Solver
 	led    *rounds.Ledger
 }
 
-// NewLaplacianSession preprocesses g for repeated Laplacian solves. g must
-// be connected with positive edge weights; the session takes a private copy.
-func NewLaplacianSession(g *graph.Graph) (*LaplacianSession, error) {
-	return NewLaplacianSessionTraced(g, nil)
-}
-
-// NewLaplacianSessionTraced is NewLaplacianSession recording spans into tr
-// (nil for no tracing).
-func NewLaplacianSessionTraced(g *graph.Graph, tr *trace.Tracer) (*LaplacianSession, error) {
-	return NewLaplacianSessionWith(g, RunOptions{Trace: tr})
-}
-
-// NewLaplacianSessionWith is NewLaplacianSession under the given robustness
-// options (workers knob included).
-func NewLaplacianSessionWith(g *graph.Graph, ro RunOptions) (*LaplacianSession, error) {
+// NewLaplacianSession preprocesses g for repeated Laplacian solves under the
+// given session options. g must be connected with positive edge weights; the
+// session takes a private copy.
+func NewLaplacianSession(g *graph.Graph, so SessionOptions) (*LaplacianSession, error) {
+	ro := so.Run
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
 		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
-		Workers: ro.Workers, WarmStart: true,
+		Workers: ro.Workers, WarmStart: so.Warm,
+		Chain: sparsify.ChainOptions{ExactOnly: so.ExactReuse},
 	})
 	if err != nil {
 		return nil, err
@@ -187,8 +194,9 @@ func (s *LaplacianSession) Solve(b linalg.Vec, eps float64) (*LaplacianResult, e
 
 // Reweight swaps the per-edge weights (indexed by edge id) on the fixed
 // topology. The sparsifier chain is reused outright while the weights stay
-// within its α-drift budget and is rebuilt — with the rebuild's rounds
-// charged to the session ledger — only when they leave it.
+// within its reuse policy (α-drift budget by default, exact tier-1 only
+// under SessionOptions.ExactReuse) and is rebuilt — with the rebuild's
+// rounds charged to the session ledger — only when they leave it.
 func (s *LaplacianSession) Reweight(w []float64) error {
 	return s.solver.Reweight(w)
 }
@@ -197,7 +205,19 @@ func (s *LaplacianSession) Reweight(w []float64) error {
 // every Solve and Reweight so far.
 func (s *LaplacianSession) Rounds() RoundReport { return report(s.led) }
 
-// SparsifyResult is the output of Sparsify.
+// SetBudget applies a per-call budget to subsequent Solve and Reweight
+// calls, metered from the session's current round totals. A nil budget
+// removes the limit. The serving layer calls this around each request so
+// pooled sessions honor per-request admission budgets without rebinding at
+// construction.
+func (s *LaplacianSession) SetBudget(b *rounds.Budget) { s.solver.SetBudget(b) }
+
+// ChainStats exposes the sparsifier chain's reuse counters: how many
+// Reweight calls were absorbed by exact (tier-1) reuse versus forcing a
+// rebuild. The serving layer's tests pin pool reuse with it.
+func (s *LaplacianSession) ChainStats() sparsify.ChainStats { return s.solver.ChainStats() }
+
+// SparsifyResult is the output of SparsifyWith.
 type SparsifyResult struct {
 	// H is the sparsifier, known to every clique node.
 	H *graph.Graph
@@ -206,18 +226,8 @@ type SparsifyResult struct {
 	Rounds RoundReport
 }
 
-// Sparsify computes the deterministic spectral sparsifier of Theorem 3.3
-// and measures its approximation factor.
-func Sparsify(g *graph.Graph) (*SparsifyResult, error) {
-	return SparsifyTraced(g, nil)
-}
-
-// SparsifyTraced is Sparsify recording spans into tr (nil for no tracing).
-func SparsifyTraced(g *graph.Graph, tr *trace.Tracer) (*SparsifyResult, error) {
-	return SparsifyWith(g, RunOptions{Trace: tr})
-}
-
-// SparsifyWith is Sparsify under the given robustness options.
+// SparsifyWith computes the deterministic spectral sparsifier of Theorem 3.3
+// under the given run options and measures its approximation factor.
 func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	led := rounds.New()
 	res, err := sparsify.Sparsify(g, sparsify.Options{
@@ -237,7 +247,7 @@ func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	return &SparsifyResult{H: res.H, Alpha: alpha, Rounds: report(led)}, nil
 }
 
-// EulerianResult is the output of EulerianOrient.
+// EulerianResult is the output of EulerianOrientWith.
 type EulerianResult struct {
 	// Orient has one entry per edge: true = oriented U -> V.
 	Orient []bool
@@ -246,19 +256,9 @@ type EulerianResult struct {
 	Rounds     RoundReport
 }
 
-// EulerianOrient orients every edge of an even-degree graph so each vertex
-// has equal in- and out-degree (Theorem 1.4).
-func EulerianOrient(g *graph.Graph) (*EulerianResult, error) {
-	return EulerianOrientTraced(g, nil)
-}
-
-// EulerianOrientTraced is EulerianOrient recording spans into tr (nil for
-// no tracing).
-func EulerianOrientTraced(g *graph.Graph, tr *trace.Tracer) (*EulerianResult, error) {
-	return EulerianOrientWith(g, RunOptions{Trace: tr})
-}
-
-// EulerianOrientWith is EulerianOrient under the given robustness options.
+// EulerianOrientWith orients every edge of an even-degree graph so each
+// vertex has equal in- and out-degree (Theorem 1.4) under the given run
+// options.
 func EulerianOrientWith(g *graph.Graph, ro RunOptions) (*EulerianResult, error) {
 	led := rounds.New()
 	orient, st, err := euler.Orient(g, nil, euler.Options{
@@ -270,30 +270,37 @@ func EulerianOrientWith(g *graph.Graph, ro RunOptions) (*EulerianResult, error) 
 	return &EulerianResult{Orient: orient, Iterations: st.Iterations, Rounds: report(led)}, nil
 }
 
-// RoundFlowResult is the output of RoundFlow.
+// RoundFlowRequest is the argument struct of RoundFlowWith, mirroring the
+// daemon's JSON request shape (see internal/serve) instead of the historical
+// six-positional-argument signature.
+type RoundFlowRequest struct {
+	// Graph is the unit-structure digraph carrying the flow's arcs.
+	Graph *graph.DiGraph
+	// Flow is the fractional flow to round, per arc; values must be
+	// multiples of Delta.
+	Flow []float64
+	// Source and Sink are the flow poles.
+	Source, Sink int
+	// Delta is the fractional granularity of Flow.
+	Delta float64
+	// UseCosts makes the rounding cost-aware: the cost does not increase
+	// when the input value is integral.
+	UseCosts bool
+}
+
+// RoundFlowResult is the output of RoundFlowWith.
 type RoundFlowResult struct {
 	// Flow is the integral flow, per arc.
 	Flow   []int64
 	Rounds RoundReport
 }
 
-// RoundFlow rounds a fractional s-t flow (values multiples of delta) to an
-// integral flow without decreasing its value (Lemma 4.2). With useCosts,
-// the cost does not increase when the input value is integral.
-func RoundFlow(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool) (*RoundFlowResult, error) {
-	return RoundFlowTraced(dg, f, s, t, delta, useCosts, nil)
-}
-
-// RoundFlowTraced is RoundFlow recording spans into tr (nil for no
-// tracing).
-func RoundFlowTraced(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, tr *trace.Tracer) (*RoundFlowResult, error) {
-	return RoundFlowWith(dg, f, s, t, delta, useCosts, RunOptions{Trace: tr})
-}
-
-// RoundFlowWith is RoundFlow under the given robustness options.
-func RoundFlowWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, ro RunOptions) (*RoundFlowResult, error) {
+// RoundFlowWith rounds a fractional s-t flow (values multiples of
+// req.Delta) to an integral flow without decreasing its value (Lemma 4.2)
+// under the given run options.
+func RoundFlowWith(req RoundFlowRequest, ro RunOptions) (*RoundFlowResult, error) {
 	led := rounds.New()
-	out, err := flowround.RoundWith(dg, f, s, t, delta, useCosts, flowround.Options{
+	out, err := flowround.RoundWith(req.Graph, req.Flow, req.Source, req.Sink, req.Delta, req.UseCosts, flowround.Options{
 		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
@@ -302,7 +309,7 @@ func RoundFlowWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useC
 	return &RoundFlowResult{Flow: out, Rounds: report(led)}, nil
 }
 
-// MaxFlowResult is the output of MaxFlow.
+// MaxFlowResult is the output of MaxFlowWith.
 type MaxFlowResult struct {
 	// Value is the exact maximum flow value.
 	Value int64
@@ -314,17 +321,8 @@ type MaxFlowResult struct {
 	Rounds             RoundReport
 }
 
-// MaxFlow computes the exact maximum s-t flow (Theorem 1.2).
-func MaxFlow(dg *graph.DiGraph, s, t int) (*MaxFlowResult, error) {
-	return MaxFlowTraced(dg, s, t, nil)
-}
-
-// MaxFlowTraced is MaxFlow recording spans into tr (nil for no tracing).
-func MaxFlowTraced(dg *graph.DiGraph, s, t int, tr *trace.Tracer) (*MaxFlowResult, error) {
-	return MaxFlowWith(dg, s, t, RunOptions{Trace: tr})
-}
-
-// MaxFlowWith is MaxFlow under the given robustness options.
+// MaxFlowWith computes the exact maximum s-t flow (Theorem 1.2) under the
+// given run options.
 func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, error) {
 	led := rounds.New()
 	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{
@@ -344,7 +342,7 @@ func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, er
 	}, nil
 }
 
-// MinCostFlowResult is the output of MinCostFlow.
+// MinCostFlowResult is the output of MinCostFlowWith.
 type MinCostFlowResult struct {
 	// Flow is the optimal per-arc 0/1 flow.
 	Flow []int64
@@ -357,19 +355,8 @@ type MinCostFlowResult struct {
 	Rounds              RoundReport
 }
 
-// MinCostFlow routes the demand vector sigma on a unit-capacity digraph at
-// exactly minimum cost (Theorem 1.3).
-func MinCostFlow(dg *graph.DiGraph, sigma []int64) (*MinCostFlowResult, error) {
-	return MinCostFlowTraced(dg, sigma, nil)
-}
-
-// MinCostFlowTraced is MinCostFlow recording spans into tr (nil for no
-// tracing).
-func MinCostFlowTraced(dg *graph.DiGraph, sigma []int64, tr *trace.Tracer) (*MinCostFlowResult, error) {
-	return MinCostFlowWith(dg, sigma, RunOptions{Trace: tr})
-}
-
-// MinCostFlowWith is MinCostFlow under the given robustness options.
+// MinCostFlowWith routes the demand vector sigma on a unit-capacity digraph
+// at exactly minimum cost (Theorem 1.3) under the given run options.
 func MinCostFlowWith(dg *graph.DiGraph, sigma []int64, ro RunOptions) (*MinCostFlowResult, error) {
 	led := rounds.New()
 	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{

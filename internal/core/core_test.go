@@ -17,7 +17,7 @@ func TestSolveLaplacianFacade(t *testing.T) {
 	}
 	b := linalg.NewVec(48)
 	b[0], b[47] = 1, -1
-	res, err := SolveLaplacian(g, b, 1e-8)
+	res, err := SolveLaplacianWith(g, b, 1e-8, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestLaplacianSessionFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := NewLaplacianSession(g)
+	sess, err := NewLaplacianSession(g, SessionOptions{Warm: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestLaplacianSessionFacade(t *testing.T) {
 
 func TestSparsifyFacade(t *testing.T) {
 	g := graph.Complete(64)
-	res, err := Sparsify(g)
+	res, err := SparsifyWith(g, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestEulerianFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EulerianOrient(g)
+	res, err := EulerianOrientWith(g, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestRoundFlowFacade(t *testing.T) {
 	dg := graph.NewDi(3)
 	dg.MustAddArc(0, 1, 4, 1)
 	dg.MustAddArc(1, 2, 4, 1)
-	res, err := RoundFlow(dg, []float64{0.75, 0.75}, 0, 2, 0.25, false)
+	res, err := RoundFlowWith(RoundFlowRequest{Graph: dg, Flow: []float64{0.75, 0.75}, Source: 0, Sink: 2, Delta: 0.25}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestMaxFlowFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MaxFlow(dg, s, tt)
+	res, err := MaxFlowWith(dg, s, tt, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestMinCostFlowFacade(t *testing.T) {
 	dg.MustAddArc(0, 3, 1, 1)
 	dg.MustAddArc(3, 2, 1, 1)
 	sigma := []int64{1, 0, -1, 0}
-	res, err := MinCostFlow(dg, sigma)
+	res, err := MinCostFlowWith(dg, sigma, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

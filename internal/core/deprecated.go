@@ -1,0 +1,115 @@
+// Deprecated facade shims. The facade historically exposed every algorithm
+// three times — plain, Traced, and With — plus the matching session
+// constructors. The With-style entry points (and the request-oriented
+// Do(Request)) are now the single canonical surface; the shims below keep
+// the old names compiling for one release and will then be removed. No
+// internal call site uses them.
+package core
+
+import (
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+	"lapcc/internal/trace"
+)
+
+// SolveLaplacian solves L_G x = b to relative precision eps.
+//
+// Deprecated: use SolveLaplacianWith (or Do with OpSolve).
+func SolveLaplacian(g *graph.Graph, b linalg.Vec, eps float64) (*LaplacianResult, error) {
+	return SolveLaplacianWith(g, b, eps, RunOptions{})
+}
+
+// SolveLaplacianTraced is SolveLaplacian recording spans into tr.
+//
+// Deprecated: use SolveLaplacianWith with RunOptions{Trace: tr}.
+func SolveLaplacianTraced(g *graph.Graph, b linalg.Vec, eps float64, tr *trace.Tracer) (*LaplacianResult, error) {
+	return SolveLaplacianWith(g, b, eps, RunOptions{Trace: tr})
+}
+
+// Sparsify computes the deterministic spectral sparsifier of Theorem 3.3.
+//
+// Deprecated: use SparsifyWith (or Do with OpSparsify).
+func Sparsify(g *graph.Graph) (*SparsifyResult, error) {
+	return SparsifyWith(g, RunOptions{})
+}
+
+// SparsifyTraced is Sparsify recording spans into tr.
+//
+// Deprecated: use SparsifyWith with RunOptions{Trace: tr}.
+func SparsifyTraced(g *graph.Graph, tr *trace.Tracer) (*SparsifyResult, error) {
+	return SparsifyWith(g, RunOptions{Trace: tr})
+}
+
+// EulerianOrient orients every edge of an even-degree graph.
+//
+// Deprecated: use EulerianOrientWith (or Do with OpOrient).
+func EulerianOrient(g *graph.Graph) (*EulerianResult, error) {
+	return EulerianOrientWith(g, RunOptions{})
+}
+
+// EulerianOrientTraced is EulerianOrient recording spans into tr.
+//
+// Deprecated: use EulerianOrientWith with RunOptions{Trace: tr}.
+func EulerianOrientTraced(g *graph.Graph, tr *trace.Tracer) (*EulerianResult, error) {
+	return EulerianOrientWith(g, RunOptions{Trace: tr})
+}
+
+// RoundFlow rounds a fractional s-t flow to an integral one.
+//
+// Deprecated: use RoundFlowWith with a RoundFlowRequest (or Do with
+// OpRoundFlow).
+func RoundFlow(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool) (*RoundFlowResult, error) {
+	return RoundFlowWith(RoundFlowRequest{Graph: dg, Flow: f, Source: s, Sink: t, Delta: delta, UseCosts: useCosts}, RunOptions{})
+}
+
+// RoundFlowTraced is RoundFlow recording spans into tr.
+//
+// Deprecated: use RoundFlowWith with RunOptions{Trace: tr}.
+func RoundFlowTraced(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts bool, tr *trace.Tracer) (*RoundFlowResult, error) {
+	return RoundFlowWith(RoundFlowRequest{Graph: dg, Flow: f, Source: s, Sink: t, Delta: delta, UseCosts: useCosts}, RunOptions{Trace: tr})
+}
+
+// MaxFlow computes the exact maximum s-t flow.
+//
+// Deprecated: use MaxFlowWith (or Do with OpMaxFlow).
+func MaxFlow(dg *graph.DiGraph, s, t int) (*MaxFlowResult, error) {
+	return MaxFlowWith(dg, s, t, RunOptions{})
+}
+
+// MaxFlowTraced is MaxFlow recording spans into tr.
+//
+// Deprecated: use MaxFlowWith with RunOptions{Trace: tr}.
+func MaxFlowTraced(dg *graph.DiGraph, s, t int, tr *trace.Tracer) (*MaxFlowResult, error) {
+	return MaxFlowWith(dg, s, t, RunOptions{Trace: tr})
+}
+
+// MinCostFlow routes the demand vector sigma at exactly minimum cost.
+//
+// Deprecated: use MinCostFlowWith (or Do with OpMinCostFlow).
+func MinCostFlow(dg *graph.DiGraph, sigma []int64) (*MinCostFlowResult, error) {
+	return MinCostFlowWith(dg, sigma, RunOptions{})
+}
+
+// MinCostFlowTraced is MinCostFlow recording spans into tr.
+//
+// Deprecated: use MinCostFlowWith with RunOptions{Trace: tr}.
+func MinCostFlowTraced(dg *graph.DiGraph, sigma []int64, tr *trace.Tracer) (*MinCostFlowResult, error) {
+	return MinCostFlowWith(dg, sigma, RunOptions{Trace: tr})
+}
+
+// NewLaplacianSessionTraced is the historical traced session constructor.
+//
+// Deprecated: use NewLaplacianSession with SessionOptions{Run:
+// RunOptions{Trace: tr}, Warm: true}.
+func NewLaplacianSessionTraced(g *graph.Graph, tr *trace.Tracer) (*LaplacianSession, error) {
+	return NewLaplacianSession(g, SessionOptions{Run: RunOptions{Trace: tr}, Warm: true})
+}
+
+// NewLaplacianSessionWith is the historical options-carrying session
+// constructor (warm starting always on).
+//
+// Deprecated: use NewLaplacianSession with SessionOptions{Run: ro, Warm:
+// true}.
+func NewLaplacianSessionWith(g *graph.Graph, ro RunOptions) (*LaplacianSession, error) {
+	return NewLaplacianSession(g, SessionOptions{Run: ro, Warm: true})
+}

@@ -8,39 +8,45 @@ import (
 	"lapcc/internal/linalg"
 )
 
-// ExampleSolveLaplacian demonstrates Theorem 1.1 on a small cycle: the
+// ExampleSolveLaplacianWith demonstrates Theorem 1.1 on a small cycle: the
 // effective resistance between opposite vertices of C4 is 1 ohm (two
 // 2-ohm paths in parallel).
-func ExampleSolveLaplacian() {
+func ExampleSolveLaplacianWith() {
 	g, _ := graph.Cycle(4)
 	b := linalg.NewVec(4)
 	b[0], b[2] = 1, -1
-	res, _ := core.SolveLaplacian(g, b, 1e-10)
+	res, _ := core.SolveLaplacianWith(g, b, 1e-10, core.RunOptions{})
 	fmt.Printf("R_eff = %.4f\n", res.X[0]-res.X[2])
 	// Output: R_eff = 1.0000
 }
 
-// ExampleMaxFlow demonstrates Theorem 1.2 on a two-path network.
-func ExampleMaxFlow() {
+// ExampleMaxFlowWith demonstrates Theorem 1.2 on a two-path network.
+func ExampleMaxFlowWith() {
 	dg := graph.NewDi(4)
 	dg.MustAddArc(0, 1, 2, 0)
 	dg.MustAddArc(1, 3, 2, 0)
 	dg.MustAddArc(0, 2, 3, 0)
 	dg.MustAddArc(2, 3, 1, 0)
-	res, _ := core.MaxFlow(dg, 0, 3)
+	res, _ := core.MaxFlowWith(dg, 0, 3, core.RunOptions{})
 	fmt.Println("max flow:", res.Value)
 	// Output: max flow: 3
 }
 
-// ExampleMinCostFlow demonstrates Theorem 1.3: one unit routed over the
-// cheaper of two unit-capacity paths.
-func ExampleMinCostFlow() {
+// ExampleDo demonstrates the request-oriented form of the facade — the same
+// shape the serving daemon (cmd/lapccd) accepts as JSON: one Op tag, one
+// graph, one Args struct. Theorem 1.3 routes one unit over the cheaper of
+// two unit-capacity paths.
+func ExampleDo() {
 	dg := graph.NewDi(4)
 	dg.MustAddArc(0, 1, 1, 9)
 	dg.MustAddArc(1, 3, 1, 9)
 	dg.MustAddArc(0, 2, 1, 2)
 	dg.MustAddArc(2, 3, 1, 2)
-	res, _ := core.MinCostFlow(dg, []int64{1, 0, 0, -1})
-	fmt.Println("min cost:", res.Cost)
+	resp, _ := core.Do(core.Request{
+		Op:      core.OpMinCostFlow,
+		DiGraph: dg,
+		Args:    core.Args{Sigma: []int64{1, 0, 0, -1}},
+	})
+	fmt.Println("min cost:", resp.MinCostFlow.Cost)
 	// Output: min cost: 4
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// Op names one of the facade's algorithms in the request-oriented API. The
+// values are the wire names the serving daemon (internal/serve, cmd/lapccd)
+// exposes as RPC endpoints.
+type Op string
+
+const (
+	// OpSolve is SolveLaplacian (Theorem 1.1).
+	OpSolve Op = "solve"
+	// OpSparsify is Sparsify (Theorem 3.3).
+	OpSparsify Op = "sparsify"
+	// OpOrient is EulerianOrient (Theorem 1.4).
+	OpOrient Op = "orient"
+	// OpRoundFlow is RoundFlow (Lemma 4.2).
+	OpRoundFlow Op = "roundflow"
+	// OpMaxFlow is MaxFlow (Theorem 1.2).
+	OpMaxFlow Op = "maxflow"
+	// OpMinCostFlow is MinCostFlow (Theorem 1.3).
+	OpMinCostFlow Op = "mincostflow"
+)
+
+// Ops lists every operation Do dispatches, in stable order.
+var Ops = []Op{OpSolve, OpSparsify, OpOrient, OpRoundFlow, OpMaxFlow, OpMinCostFlow}
+
+// ErrBadRequest reports a Request that fails validation before any solver
+// runs: unknown op, missing graph, or malformed op arguments. Errors wrap it
+// so transport layers can map validation failures to client errors
+// (HTTP 400) while solver failures stay server-side.
+var ErrBadRequest = errors.New("core: bad request")
+
+// Args carries the per-op arguments of a Request. Only the fields the
+// requested Op reads are consulted; the rest are ignored.
+type Args struct {
+	// B is the right-hand side (OpSolve).
+	B linalg.Vec
+	// Eps is the target relative error in the L_G norm (OpSolve).
+	Eps float64
+	// Source and Sink are the flow poles (OpMaxFlow, OpRoundFlow).
+	Source, Sink int
+	// Sigma is the demand vector (OpMinCostFlow).
+	Sigma []int64
+	// Flow is the fractional flow to round, per arc (OpRoundFlow).
+	Flow []float64
+	// Delta is the fractional granularity of Flow (OpRoundFlow).
+	Delta float64
+	// UseCosts makes the rounding cost-aware (OpRoundFlow).
+	UseCosts bool
+}
+
+// Request is the facade's single request shape: one Op, the graph it runs
+// on (undirected ops read Graph, flow ops read DiGraph), its Args, and the
+// cross-cutting RunOptions. It is the in-process mirror of the daemon's
+// JSON request body, so CLIs, tests, and the serving layer all drive the
+// solvers through the same surface.
+type Request struct {
+	Op      Op
+	Graph   *graph.Graph   // OpSolve, OpSparsify, OpOrient
+	DiGraph *graph.DiGraph // OpMaxFlow, OpMinCostFlow, OpRoundFlow
+	Args    Args
+	Run     RunOptions
+}
+
+// Response is the facade's single response shape: exactly one result field
+// is non-nil, matching the request's Op, and Rounds mirrors that result's
+// round report for uniform access.
+type Response struct {
+	Op          Op
+	Laplacian   *LaplacianResult
+	Sparsifier  *SparsifyResult
+	Eulerian    *EulerianResult
+	RoundedFlow *RoundFlowResult
+	MaxFlow     *MaxFlowResult
+	MinCostFlow *MinCostFlowResult
+	Rounds      RoundReport
+}
+
+// Validate checks the request's shape without running anything. All errors
+// wrap ErrBadRequest.
+func (r *Request) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: op %s: %s", ErrBadRequest, r.Op, fmt.Sprintf(format, args...))
+	}
+	needGraph := func() error {
+		if r.Graph == nil {
+			return bad("missing undirected graph")
+		}
+		return nil
+	}
+	needDiGraph := func() error {
+		if r.DiGraph == nil {
+			return bad("missing directed graph")
+		}
+		return nil
+	}
+	switch r.Op {
+	case OpSolve:
+		if err := needGraph(); err != nil {
+			return err
+		}
+		if len(r.Args.B) != r.Graph.N() {
+			return bad("right-hand side has %d entries for n=%d", len(r.Args.B), r.Graph.N())
+		}
+		if !(r.Args.Eps > 0 && r.Args.Eps <= 0.5) {
+			return bad("eps %v outside (0, 1/2]", r.Args.Eps)
+		}
+	case OpSparsify, OpOrient:
+		if err := needGraph(); err != nil {
+			return err
+		}
+	case OpMaxFlow:
+		if err := needDiGraph(); err != nil {
+			return err
+		}
+		n := r.DiGraph.N()
+		if r.Args.Source < 0 || r.Args.Source >= n || r.Args.Sink < 0 || r.Args.Sink >= n || r.Args.Source == r.Args.Sink {
+			return bad("bad poles (%d, %d) for n=%d", r.Args.Source, r.Args.Sink, n)
+		}
+	case OpMinCostFlow:
+		if err := needDiGraph(); err != nil {
+			return err
+		}
+		if len(r.Args.Sigma) != r.DiGraph.N() {
+			return bad("demand vector has %d entries for n=%d", len(r.Args.Sigma), r.DiGraph.N())
+		}
+	case OpRoundFlow:
+		if err := needDiGraph(); err != nil {
+			return err
+		}
+		n := r.DiGraph.N()
+		if r.Args.Source < 0 || r.Args.Source >= n || r.Args.Sink < 0 || r.Args.Sink >= n || r.Args.Source == r.Args.Sink {
+			return bad("bad poles (%d, %d) for n=%d", r.Args.Source, r.Args.Sink, n)
+		}
+		if len(r.Args.Flow) != r.DiGraph.M() {
+			return bad("flow vector has %d entries for m=%d", len(r.Args.Flow), r.DiGraph.M())
+		}
+		if !(r.Args.Delta > 0) {
+			return bad("delta %v must be positive", r.Args.Delta)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.Op)
+	}
+	return nil
+}
+
+// Do validates req and dispatches it to the matching entry point. It is the
+// single call surface behind the daemon handlers and the CLIs; the typed
+// XxxWith functions remain for callers that want compile-time argument
+// checking, and Do adds nothing on top of them but the dispatch.
+func Do(req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	resp := &Response{Op: req.Op}
+	switch req.Op {
+	case OpSolve:
+		res, err := SolveLaplacianWith(req.Graph, req.Args.B, req.Args.Eps, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.Laplacian, resp.Rounds = res, res.Rounds
+	case OpSparsify:
+		res, err := SparsifyWith(req.Graph, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.Sparsifier, resp.Rounds = res, res.Rounds
+	case OpOrient:
+		res, err := EulerianOrientWith(req.Graph, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.Eulerian, resp.Rounds = res, res.Rounds
+	case OpRoundFlow:
+		res, err := RoundFlowWith(RoundFlowRequest{
+			Graph:    req.DiGraph,
+			Flow:     req.Args.Flow,
+			Source:   req.Args.Source,
+			Sink:     req.Args.Sink,
+			Delta:    req.Args.Delta,
+			UseCosts: req.Args.UseCosts,
+		}, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.RoundedFlow, resp.Rounds = res, res.Rounds
+	case OpMaxFlow:
+		res, err := MaxFlowWith(req.DiGraph, req.Args.Source, req.Args.Sink, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.MaxFlow, resp.Rounds = res, res.Rounds
+	case OpMinCostFlow:
+		res, err := MinCostFlowWith(req.DiGraph, req.Args.Sigma, req.Run)
+		if err != nil {
+			return nil, err
+		}
+		resp.MinCostFlow, resp.Rounds = res, res.Rounds
+	}
+	return resp, nil
+}

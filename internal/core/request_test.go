@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/linalg"
+)
+
+// Do must be a pure dispatcher: for every op, the response carries exactly
+// the result the typed entry point returns, bit for bit.
+func TestDoMatchesTypedEntryPoints(t *testing.T) {
+	g, err := graph.RandomRegular(32, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(32)
+	b[0], b[31] = 1, -1
+
+	direct, err := SolveLaplacianWith(g.Clone(), b, 1e-8, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Do(Request{Op: OpSolve, Graph: g.Clone(), Args: Args{B: b, Eps: 1e-8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != OpSolve || resp.Laplacian == nil {
+		t.Fatalf("bad response shape: %+v", resp)
+	}
+	for i := range direct.X {
+		if resp.Laplacian.X[i] != direct.X[i] {
+			t.Fatalf("x[%d]: Do %v != typed %v", i, resp.Laplacian.X[i], direct.X[i])
+		}
+	}
+	if resp.Rounds != resp.Laplacian.Rounds {
+		t.Fatal("Response.Rounds must mirror the result's report")
+	}
+	if resp.Rounds.Total != direct.Rounds.Total || resp.Rounds.Charged != direct.Rounds.Charged {
+		t.Fatalf("rounds: Do %+v != typed %+v", resp.Rounds, direct.Rounds)
+	}
+
+	dg := graph.LayeredDAG(2, 4, 2, 6, 3)
+	s, tt := 0, dg.N()-1
+	mfDirect, err := MaxFlowWith(dg, s, tt, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfResp, err := Do(Request{Op: OpMaxFlow, DiGraph: dg, Args: Args{Source: s, Sink: tt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfResp.MaxFlow == nil || mfResp.MaxFlow.Value != mfDirect.Value {
+		t.Fatalf("maxflow: Do %+v != typed %+v", mfResp.MaxFlow, mfDirect)
+	}
+	for i := range mfDirect.Flow {
+		if mfResp.MaxFlow.Flow[i] != mfDirect.Flow[i] {
+			t.Fatalf("flow[%d] differs", i)
+		}
+	}
+}
+
+// Every malformed request must fail Validate with an error wrapping
+// ErrBadRequest, before any solver is constructed.
+func TestRequestValidation(t *testing.T) {
+	g, err := graph.RandomRegular(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := graph.LayeredDAG(2, 2, 2, 4, 1)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown op", Request{Op: Op("bogus")}},
+		{"solve without graph", Request{Op: OpSolve, Args: Args{Eps: 1e-8}}},
+		{"solve bad rhs length", Request{Op: OpSolve, Graph: g, Args: Args{B: linalg.NewVec(3), Eps: 1e-8}}},
+		{"solve bad eps", Request{Op: OpSolve, Graph: g, Args: Args{B: linalg.NewVec(16), Eps: 2}}},
+		{"sparsify without graph", Request{Op: OpSparsify}},
+		{"maxflow without digraph", Request{Op: OpMaxFlow}},
+		{"maxflow equal poles", Request{Op: OpMaxFlow, DiGraph: dg, Args: Args{Source: 1, Sink: 1}}},
+		{"mincost bad sigma", Request{Op: OpMinCostFlow, DiGraph: dg, Args: Args{Sigma: []int64{1}}}},
+		{"roundflow bad flow length", Request{Op: OpRoundFlow, DiGraph: dg, Args: Args{Sink: 1, Delta: 0.5, Flow: []float64{1}}}},
+		{"roundflow bad delta", Request{Op: OpRoundFlow, DiGraph: dg, Args: Args{Sink: 1, Flow: make([]float64, dg.M())}}},
+	}
+	for _, tc := range cases {
+		if _, err := Do(tc.req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: got %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+}
+
+// The deprecated shims must stay behaviourally identical to the canonical
+// entry points they forward to.
+func TestDeprecatedShimsForward(t *testing.T) {
+	dg := graph.NewDi(3)
+	dg.MustAddArc(0, 1, 4, 1)
+	dg.MustAddArc(1, 2, 4, 1)
+	old, err := RoundFlow(dg, []float64{0.75, 0.75}, 0, 2, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := RoundFlowWith(RoundFlowRequest{
+		Graph: dg, Flow: []float64{0.75, 0.75}, Source: 0, Sink: 2, Delta: 0.25,
+	}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range old.Flow {
+		if old.Flow[i] != canonical.Flow[i] {
+			t.Fatalf("shim flow[%d] %d != canonical %d", i, old.Flow[i], canonical.Flow[i])
+		}
+	}
+}

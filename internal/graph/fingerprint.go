@@ -1,0 +1,100 @@
+package graph
+
+import "strconv"
+
+// Fingerprint returns a deterministic 64-bit hash of the graph's *structure*:
+// the vertex count and the edge list's endpoint pairs in edge-id order,
+// weights excluded. Two graphs share a fingerprint exactly when an edge-id-
+// preserving weight assignment maps one onto the other — the invariant the
+// session layer cares about, since sessions split topology (expensive, built
+// once) from weights (cheap, swapped per Reweight). Consequently SetWeight
+// and SetWeights never change the fingerprint, while AddEdge and RewireEdge
+// always do.
+//
+// The hash is 64-bit FNV-1a over a canonical byte encoding, so it is stable
+// across processes and platforms and fit for use as a cache key (the serving
+// layer's session LRU); callers that cannot tolerate the 2^-64 collision
+// chance must compare SameStructure on hit.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(g.n))
+	h = fnvMix(h, uint64(len(g.edges)))
+	for _, e := range g.edges {
+		h = fnvMix(h, uint64(e.U))
+		h = fnvMix(h, uint64(e.V))
+	}
+	return h
+}
+
+// SameStructure reports whether o has identical n and endpoint pairs per
+// edge id (weights ignored) — the exact equality Fingerprint approximates.
+func (g *Graph) SameStructure(o *Graph) bool {
+	if g.n != o.n || len(g.edges) != len(o.edges) {
+		return false
+	}
+	for i, e := range g.edges {
+		if oe := o.edges[i]; e.U != oe.U || e.V != oe.V {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a deterministic 64-bit hash of the directed graph's
+// full instance shape: vertex count plus every arc's endpoints, capacity,
+// and cost in arc-id order. Unlike the undirected form, capacities and costs
+// are included — the flow theorems take them as part of the instance, and
+// the flow solvers hold no cheap "reweight" path that would make a
+// capacity-excluded key useful.
+func (g *DiGraph) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(g.n))
+	h = fnvMix(h, uint64(len(g.arcs)))
+	for _, a := range g.arcs {
+		h = fnvMix(h, uint64(a.From))
+		h = fnvMix(h, uint64(a.To))
+		h = fnvMix(h, uint64(a.Cap))
+		h = fnvMix(h, uint64(a.Cost))
+	}
+	return h
+}
+
+// SameStructure reports whether o has identical n and per-arc
+// (from, to, cap, cost) tuples — the exact equality Fingerprint approximates.
+func (g *DiGraph) SameStructure(o *DiGraph) bool {
+	if g.n != o.n || len(g.arcs) != len(o.arcs) {
+		return false
+	}
+	for i, a := range g.arcs {
+		if a != o.arcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FingerprintString renders a fingerprint in the fixed-width hex form used by
+// the serving layer's wire format and logs.
+func FingerprintString(fp uint64) string {
+	s := strconv.FormatUint(fp, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}
+
+// 64-bit FNV-1a over the 8 little-endian bytes of each word. Inlined rather
+// than hash/fnv so the per-edge loop allocates nothing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h
+}

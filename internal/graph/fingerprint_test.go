@@ -1,0 +1,123 @@
+package graph
+
+import "testing"
+
+func buildFingerprintGraph() *Graph {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1.0)
+	g.MustAddEdge(1, 2, 2.0)
+	g.MustAddEdge(2, 3, 0.5)
+	g.MustAddEdge(3, 4, 7.0)
+	g.MustAddEdge(4, 5, 1.25)
+	g.MustAddEdge(0, 5, 3.0)
+	return g
+}
+
+// The fingerprint is a pure function of the structure: a clone and an
+// independently re-built twin agree, and weight-only mutations (SetWeight,
+// SetWeights) never move it.
+func TestFingerprintStableAcrossWeights(t *testing.T) {
+	g := buildFingerprintGraph()
+	fp := g.Fingerprint()
+	if fp2 := buildFingerprintGraph().Fingerprint(); fp2 != fp {
+		t.Fatalf("identical builds disagree: %x vs %x", fp, fp2)
+	}
+	if fp2 := g.Clone().Fingerprint(); fp2 != fp {
+		t.Fatalf("clone disagrees: %x vs %x", fp, fp2)
+	}
+	if err := g.SetWeight(2, 99.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Fingerprint(); got != fp {
+		t.Fatalf("SetWeight moved the fingerprint: %x -> %x", fp, got)
+	}
+	w := g.Weights()
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	if err := g.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Fingerprint(); got != fp {
+		t.Fatalf("SetWeights moved the fingerprint: %x -> %x", fp, got)
+	}
+	if !g.SameStructure(buildFingerprintGraph()) {
+		t.Fatal("SameStructure must ignore weights")
+	}
+}
+
+// Structural mutations must move the fingerprint: RewireEdge keeps M
+// constant but changes endpoints, and AddEdge grows the list.
+func TestFingerprintTracksStructure(t *testing.T) {
+	g := buildFingerprintGraph()
+	fp := g.Fingerprint()
+	if err := g.RewireEdge(1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	rewired := g.Fingerprint()
+	if rewired == fp {
+		t.Fatal("RewireEdge left the fingerprint unchanged")
+	}
+	if g.SameStructure(buildFingerprintGraph()) {
+		t.Fatal("SameStructure missed a rewire")
+	}
+	// Rewiring back restores the original structure exactly.
+	if err := g.RewireEdge(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Fingerprint(); got != fp {
+		t.Fatalf("round-trip rewire: %x != %x", got, fp)
+	}
+	g.MustAddEdge(2, 5, 1.0)
+	if got := g.Fingerprint(); got == fp {
+		t.Fatal("AddEdge left the fingerprint unchanged")
+	}
+	// Same endpoints in a different edge-id order is a different structure:
+	// sessions reweight by edge id, so the order is load-bearing.
+	a := New(3)
+	a.MustAddEdge(0, 1, 1)
+	a.MustAddEdge(1, 2, 1)
+	b := New(3)
+	b.MustAddEdge(1, 2, 1)
+	b.MustAddEdge(0, 1, 1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("edge-id order must be part of the fingerprint")
+	}
+}
+
+// The directed fingerprint covers capacities and costs: flow instances with
+// different capacities are different problems, not reweightings.
+func TestDiGraphFingerprint(t *testing.T) {
+	build := func(capacity, cost int64) *DiGraph {
+		dg := NewDi(4)
+		dg.MustAddArc(0, 1, capacity, cost)
+		dg.MustAddArc(1, 2, 2, 1)
+		dg.MustAddArc(2, 3, 3, 2)
+		return dg
+	}
+	fp := build(5, 1).Fingerprint()
+	if got := build(5, 1).Fingerprint(); got != fp {
+		t.Fatalf("identical builds disagree: %x vs %x", fp, got)
+	}
+	if got := build(5, 1).Clone().Fingerprint(); got != fp {
+		t.Fatal("clone disagrees")
+	}
+	if build(6, 1).Fingerprint() == fp {
+		t.Fatal("capacity change must move the fingerprint")
+	}
+	if build(5, 9).Fingerprint() == fp {
+		t.Fatal("cost change must move the fingerprint")
+	}
+	if !build(5, 1).SameStructure(build(5, 1)) || build(5, 1).SameStructure(build(6, 1)) {
+		t.Fatal("DiGraph.SameStructure must compare full arc tuples")
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	if got := FingerprintString(0xab); got != "00000000000000ab" {
+		t.Fatalf("FingerprintString(0xab) = %q", got)
+	}
+	if got := FingerprintString(0xdeadbeefdeadbeef); got != "deadbeefdeadbeef" {
+		t.Fatalf("FingerprintString = %q", got)
+	}
+}

@@ -318,6 +318,16 @@ func (s *Solver) Reweight(w []float64) error {
 	return nil
 }
 
+// SetBudget replaces the budget consulted at solve-attempt boundaries,
+// binding it to the solver's ledger so its round limit meters from the
+// current totals. A nil budget removes the limit. The serving layer uses
+// this to apply per-request admission budgets to pooled solvers; the
+// sparsifier chain's rebuild budget is set separately (sparsify.Chain).
+func (s *Solver) SetBudget(b *rounds.Budget) {
+	b.Bind(s.opts.Ledger)
+	s.opts.Budget = b
+}
+
 // ChainStats returns the sparsifier session's reuse counters (zero value on
 // the randomized path, which has no structural session).
 func (s *Solver) ChainStats() sparsify.ChainStats {

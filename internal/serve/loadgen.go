@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lapcc/internal/graph"
+)
+
+// LoadOptions configures a load-generation run against a serving daemon.
+// The workload is deterministic per Seed: the same options produce the same
+// request bodies in the same order, so recorded latency baselines compare
+// like against like.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client (http.DefaultClient if nil).
+	Client *http.Client
+	// Requests is the total request count across all ops (default 64).
+	Requests int
+	// Concurrency is the number of client workers (default 4).
+	Concurrency int
+	// Mix weights the operations; zero-weight ops are skipped. Default:
+	// solve=6, sparsify=1, orient=1, maxflow=1, mincostflow=1 — the
+	// solve-heavy profile the session pool is built for.
+	Mix map[string]int
+	// Topologies is the number of distinct solve/sparsify topologies the
+	// workload cycles through (default 2). Fewer topologies than solve
+	// requests means repeat topologies, exercising the pooled reweight
+	// path.
+	Topologies int
+	// N is the vertex count of the generated graphs (default 48).
+	N int
+	// Seed drives every generated instance (default 1).
+	Seed int64
+	// Budget, if non-nil, rides on every request.
+	Budget *WireBudget
+}
+
+func (o *LoadOptions) defaults() {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Requests <= 0 {
+		o.Requests = 64
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Topologies <= 0 {
+		o.Topologies = 2
+	}
+	if o.N <= 0 {
+		o.N = 48
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Mix == nil {
+		o.Mix = map[string]int{"solve": 6, "sparsify": 1, "orient": 1, "maxflow": 1, "mincostflow": 1}
+	}
+}
+
+// OpStats aggregates the latencies of one op across a run.
+type OpStats struct {
+	Count  int           `json:"count"`
+	Errors int           `json:"errors"`
+	P50    time.Duration `json:"p50_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	Mean   time.Duration `json:"mean_ns"`
+}
+
+// LoadResult is the outcome of RunLoad.
+type LoadResult struct {
+	PerOp    map[string]OpStats `json:"per_op"`
+	Requests int                `json:"requests"`
+	Errors   int                `json:"errors"`
+	// Retries counts 429 "overloaded" responses absorbed by backoff — the
+	// admission gate working as intended, not failures. Retried time counts
+	// toward the request's latency (the client-observed figure).
+	Retries int           `json:"retries"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// NsPerRequest is the inverse throughput of the whole run: wall time
+	// divided by completed requests — the figure BENCH_serve.json gates.
+	NsPerRequest float64 `json:"ns_per_request"`
+}
+
+// workItem is one scheduled request.
+type workItem struct {
+	op   string
+	body []byte
+}
+
+// solveWeights returns the deterministic per-edge weights of solve request
+// r: all within [1.1, 1.9), i.e. one binary weight class, so repeat
+// topologies stay on the chain's exact-reuse tier.
+func solveWeights(m int, r int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		h := uint64(i)*2654435761 + uint64(r)*40503 + 17
+		w[i] = 1.1 + 0.8*float64(h%1024)/1024
+	}
+	return w
+}
+
+// buildSchedule materializes the deterministic request sequence.
+func buildSchedule(o *LoadOptions) ([]workItem, error) {
+	ops := make([]string, 0, 8)
+	for _, op := range []string{"solve", "sparsify", "orient", "maxflow", "mincostflow"} {
+		for i := 0; i < o.Mix[op]; i++ {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("loadgen: empty op mix")
+	}
+
+	// Shared instances, generated once per topology slot.
+	solveGraphs := make([]*graph.Graph, o.Topologies)
+	for t := range solveGraphs {
+		g, err := graph.RandomRegular(o.N, 6, o.Seed+int64(t))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		solveGraphs[t] = g
+	}
+	flowNet := graph.LayeredDAG(2, 4, 2, 4, o.Seed)
+	unitNet := graph.LayeredDAG(2, 4, 2, 1, o.Seed+1)
+	sigma := make([]int64, unitNet.N())
+	sigma[0], sigma[unitNet.N()-1] = 1, -1
+
+	items := make([]workItem, o.Requests)
+	for r := 0; r < o.Requests; r++ {
+		op := ops[r%len(ops)]
+		var body any
+		switch op {
+		case "solve":
+			g := solveGraphs[r%o.Topologies]
+			wg := ToWireGraph(g)
+			for i, w := range solveWeights(g.M(), r) {
+				wg.Edges[i][2] = w
+			}
+			b := make([]float64, g.N())
+			b[r%g.N()], b[(r+1)%g.N()] = 1, -1
+			body = SolveRequest{Graph: &wg, RHS: [][]float64{b}, Eps: 1e-8, Budget: o.Budget}
+		case "sparsify":
+			g := solveGraphs[r%o.Topologies]
+			wg := ToWireGraph(g)
+			body = SparsifyRequest{Graph: &wg, Budget: o.Budget}
+		case "orient":
+			g := solveGraphs[r%o.Topologies]
+			wg := ToWireGraph(g)
+			body = OrientRequest{Graph: &wg, Budget: o.Budget}
+		case "maxflow":
+			wd := ToWireDiGraph(flowNet)
+			body = MaxFlowRequest{Graph: &wd, Source: 0, Sink: flowNet.N() - 1, Budget: o.Budget}
+		case "mincostflow":
+			wd := ToWireDiGraph(unitNet)
+			body = MinCostFlowRequest{Graph: &wd, Sigma: sigma, Budget: o.Budget}
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		items[r] = workItem{op: op, body: raw}
+	}
+	return items, nil
+}
+
+// RunLoad replays the deterministic mixed workload against the daemon at
+// opts.BaseURL with opts.Concurrency client workers and aggregates per-op
+// latency percentiles and run throughput.
+func RunLoad(opts LoadOptions) (*LoadResult, error) {
+	opts.defaults()
+	items, err := buildSchedule(&opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies = map[string][]time.Duration{}
+		errCounts = map[string]int{}
+		retries   int
+		wg        sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := items[i]
+				start := time.Now()
+				ok, shed := post(opts.Client, opts.BaseURL+"/v1/"+it.op, it.body)
+				lat := time.Since(start)
+				mu.Lock()
+				latencies[it.op] = append(latencies[it.op], lat)
+				retries += shed
+				if !ok {
+					errCounts[it.op]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := &LoadResult{PerOp: map[string]OpStats{}, Requests: len(items), Retries: retries, Elapsed: elapsed}
+	for op, lats := range latencies {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		res.PerOp[op] = OpStats{
+			Count:  len(lats),
+			Errors: errCounts[op],
+			P50:    quantile(lats, 0.50),
+			P99:    quantile(lats, 0.99),
+			Mean:   sum / time.Duration(len(lats)),
+		}
+		res.Errors += errCounts[op]
+	}
+	if res.Requests > 0 {
+		res.NsPerRequest = float64(elapsed.Nanoseconds()) / float64(res.Requests)
+	}
+	return res, nil
+}
+
+// post sends one request, absorbing 429 "overloaded" responses with
+// bounded backoff: load shedding is the admission gate's contract, and a
+// replay client's job is to wait for a slot, not to count it as a failure.
+// Budget-exceeded 429s (and everything else non-200) are real errors.
+func post(client *http.Client, url string, body []byte) (ok bool, retries int) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, retries
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true, retries
+		}
+		if resp.StatusCode == http.StatusTooManyRequests &&
+			bytes.Contains(data, []byte(`"overloaded"`)) && attempt < 200 {
+			retries++
+			time.Sleep(time.Duration(1+attempt%10) * time.Millisecond)
+			continue
+		}
+		return false, retries
+	}
+}
+
+// quantile returns the q-th latency of a sorted sample (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// NsMetrics flattens the result into a benchmark-name -> ns/op map: per-op
+// p50 and p99 latencies plus the whole-run inverse throughput. Only the
+// throughput entry is gated in BENCH_serve.json (per-op percentiles under
+// concurrency are queueing-noise-dominated); the rest is for display and
+// tests.
+func (r *LoadResult) NsMetrics() map[string]float64 {
+	out := map[string]float64{}
+	for op, st := range r.PerOp {
+		out["Serve/"+op+"@p50"] = float64(st.P50.Nanoseconds())
+		out["Serve/"+op+"@p99"] = float64(st.P99.Nanoseconds())
+	}
+	out["Serve/throughput"] = r.NsPerRequest
+	return out
+}
+
+// WaitReady polls baseURL/healthz until it answers 200 or the timeout
+// elapses. cmd/loadgen uses it so `make serve-smoke` can start the daemon
+// and the generator back to back.
+func WaitReady(client *http.Client, baseURL string, timeout time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s not ready after %s", baseURL, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

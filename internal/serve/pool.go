@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync"
+
+	"lapcc/internal/core"
+	"lapcc/internal/graph"
+	"lapcc/internal/rounds"
+	"lapcc/internal/sparsify"
+)
+
+// poolEntry is one pooled preprocessing unit, keyed by the structural
+// fingerprint of its topology. Solve entries carry a core.LaplacianSession,
+// sparsify entries a sparsify.Chain plus its ledger. An entry's mutex
+// serializes requests on the same topology (the underlying sessions are
+// single-goroutine); requests on distinct topologies run concurrently.
+type poolEntry struct {
+	mu sync.Mutex
+
+	fp    uint64
+	guard *graph.Graph // topology pinned at build; detects fingerprint collisions
+
+	sess  *core.LaplacianSession
+	chain *sparsify.Chain
+	led   *rounds.Ledger // the chain's ledger (sparsify entries only)
+
+	builds int // lifetime (re)builds in this entry, pinned by the e2e tests
+}
+
+// built reports whether the entry holds a usable preprocessing for g: it
+// has been constructed and g really is the pinned topology (the fingerprint
+// is a 64-bit hash, so collisions are resolved structurally).
+func (e *poolEntry) built(g *graph.Graph) bool {
+	if e.guard == nil {
+		return false
+	}
+	return e.guard.SameStructure(g)
+}
+
+// sessionPool is a small LRU of poolEntry keyed by graph fingerprint.
+type sessionPool struct {
+	mu      sync.Mutex
+	cap     int
+	tick    int64
+	entries map[uint64]*poolEntry
+	lastUse map[uint64]int64
+}
+
+func newSessionPool(capacity int) *sessionPool {
+	return &sessionPool{
+		cap:     capacity,
+		entries: make(map[uint64]*poolEntry),
+		lastUse: make(map[uint64]int64),
+	}
+}
+
+// acquire returns the entry for fp, creating an empty one (and evicting the
+// least-recently-used entry past capacity) on miss. The boolean reports
+// whether the entry already existed. The caller locks the entry's own mutex
+// before touching its sessions; a concurrently evicted entry stays valid
+// for the holder, it just stops being findable.
+func (p *sessionPool) acquire(fp uint64) (*poolEntry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+	if e, ok := p.entries[fp]; ok {
+		p.lastUse[fp] = p.tick
+		return e, true
+	}
+	if len(p.entries) >= p.cap {
+		var victim uint64
+		oldest := int64(1<<63 - 1)
+		for k, t := range p.lastUse {
+			if t < oldest {
+				oldest, victim = t, k
+			}
+		}
+		delete(p.entries, victim)
+		delete(p.lastUse, victim)
+	}
+	e := &poolEntry{fp: fp}
+	p.entries[fp] = e
+	p.lastUse[fp] = p.tick
+	return e, false
+}
+
+// size returns the current entry count.
+func (p *sessionPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}

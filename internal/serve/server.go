@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lapcc/internal/core"
+	"lapcc/internal/linalg"
+	"lapcc/internal/metrics"
+	"lapcc/internal/rounds"
+	"lapcc/internal/sparsify"
+)
+
+// DefaultEps is the solve precision used when a request carries none.
+const DefaultEps = 1e-8
+
+// Options configures a Server. The zero value serves with the documented
+// defaults.
+type Options struct {
+	// PoolSize bounds each session pool (solve sessions and sparsify
+	// chains separately) with LRU eviction. Default 8.
+	PoolSize int
+	// MaxInflight bounds concurrently admitted requests; excess load is
+	// shed with a typed 429 ("overloaded") instead of queueing. Default
+	// 2*GOMAXPROCS.
+	MaxInflight int
+	// Workers is the numerical core's worker count per request
+	// (core.RunOptions.Workers).
+	Workers int
+	// Metrics, if non-nil, receives the serving-layer instruments
+	// (request/shed/pool counters, per-op latency histograms) plus the
+	// solver-stack instruments of every run, and is exposed on the
+	// daemon's /metrics endpoints.
+	Metrics *metrics.Registry
+}
+
+// Server implements the solver-as-a-service HTTP surface. Construct with
+// New and mount Handler on an http.Server (or httptest.Server).
+type Server struct {
+	opts     Options
+	inflight chan struct{}
+	solve    *sessionPool
+	sparse   *sessionPool
+	reg      *metrics.Registry
+
+	requests   atomic.Int64
+	shed       atomic.Int64
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+
+	// hold, when non-nil, blocks every admitted request until the channel
+	// is closed. Test hook for deterministically filling the inflight
+	// slots; never set in production.
+	hold chan struct{}
+}
+
+// New returns a Server with the given options.
+func New(opts Options) *Server {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 8
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		opts:     opts,
+		inflight: make(chan struct{}, opts.MaxInflight),
+		solve:    newSessionPool(opts.PoolSize),
+		sparse:   newSessionPool(opts.PoolSize),
+		reg:      opts.Metrics,
+	}
+}
+
+// Stats is the /v1/stats body: serving-layer counters for tests and
+// operators. Pool hits count requests that found a built session for their
+// exact topology; every hit skips the Theorem 3.3 preprocessing.
+type Stats struct {
+	Requests       int64 `json:"requests"`
+	Shed           int64 `json:"shed"`
+	PoolHits       int64 `json:"pool_hits"`
+	PoolMisses     int64 `json:"pool_misses"`
+	SolveSessions  int   `json:"solve_sessions"`
+	SparsifyChains int   `json:"sparsify_chains"`
+	MaxInflight    int   `json:"max_inflight"`
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:       s.requests.Load(),
+		Shed:           s.shed.Load(),
+		PoolHits:       s.poolHits.Load(),
+		PoolMisses:     s.poolMisses.Load(),
+		SolveSessions:  s.solve.size(),
+		SparsifyChains: s.sparse.size(),
+		MaxInflight:    s.opts.MaxInflight,
+	}
+}
+
+// Handler returns the daemon's mux:
+//
+//	POST /v1/solve        SolveRequest  -> SolveResponse
+//	POST /v1/sparsify     SparsifyRequest -> SparsifyResponse
+//	POST /v1/orient       OrientRequest -> OrientResponse
+//	POST /v1/maxflow      MaxFlowRequest -> MaxFlowResponse
+//	POST /v1/mincostflow  MinCostFlowRequest -> MinCostFlowResponse
+//	GET  /v1/stats        serving counters
+//	GET  /healthz         liveness
+//
+// With a metrics registry, /metrics, /metrics.json, and /debug/pprof/ are
+// mounted from the shared debug handler (internal/metrics).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.admit("solve", s.handleSolve))
+	mux.HandleFunc("/v1/sparsify", s.admit("sparsify", s.handleSparsify))
+	mux.HandleFunc("/v1/orient", s.admit("orient", s.handleOrient))
+	mux.HandleFunc("/v1/maxflow", s.admit("maxflow", s.handleMaxFlow))
+	mux.HandleFunc("/v1/mincostflow", s.admit("mincostflow", s.handleMinCostFlow))
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if s.reg != nil {
+		dbg := metrics.Handler(s.reg)
+		mux.Handle("/metrics", dbg)
+		mux.Handle("/metrics.json", dbg)
+		mux.Handle("/debug/pprof/", dbg)
+	}
+	return mux
+}
+
+// admit wraps an op handler with the admission layer: method check, load
+// shedding at MaxInflight, and per-op request/latency instruments.
+func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
+	var (
+		reqs = s.reg.Counter("lapcc_serve_requests_total", "Admitted requests by op.", "op", op)
+		lat  = s.reg.Histogram("lapcc_serve_latency_ns", "Request latency by op.", "op", op)
+	)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required", 0)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			s.reg.Counter("lapcc_serve_shed_total", "Requests shed at the admission gate.").Inc()
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("all %d slots busy", s.opts.MaxInflight), 0)
+			return
+		}
+		defer func() { <-s.inflight }()
+		if s.hold != nil {
+			<-s.hold
+		}
+		s.requests.Add(1)
+		reqs.Inc()
+		t0 := time.Now()
+		fn(w, r)
+		lat.ObserveDuration(time.Since(t0))
+	}
+}
+
+func (s *Server) run(budget *rounds.Budget) core.RunOptions {
+	return core.RunOptions{Budget: budget, Workers: s.opts.Workers, Metrics: s.reg}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := req.Graph.Graph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	if len(req.RHS) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "rhs: need at least one right-hand side", 0)
+		return
+	}
+	for i, b := range req.RHS {
+		if len(b) != g.N() {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("rhs[%d]: %d entries for n=%d", i, len(b), g.N()), 0)
+			return
+		}
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = DefaultEps
+	}
+	budget, err := req.Budget.Budget()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+
+	e, _ := s.solve.acquire(g.Fingerprint())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cached := e.built(g)
+	var before core.RoundReport
+	if cached {
+		s.poolHit(true)
+		before = e.sess.Rounds()
+		e.sess.SetBudget(budget)
+		if err := e.sess.Reweight(g.Weights()); err != nil {
+			e.sess.SetBudget(nil)
+			s.fail(w, err)
+			return
+		}
+	} else {
+		s.poolHit(false)
+		// Pooled sessions run cold (no warm start) with exact-only chain
+		// reuse, so every response is bit-identical to a direct one-shot
+		// facade call — see the package comment.
+		sess, err := core.NewLaplacianSession(g, core.SessionOptions{
+			Run:        s.run(budget),
+			ExactReuse: true,
+		})
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		e.sess, e.chain, e.led, e.guard = sess, nil, nil, g
+		e.builds++
+	}
+	defer e.sess.SetBudget(nil)
+
+	resp := SolveResponse{Cached: cached}
+	for _, b := range req.RHS {
+		res, err := e.sess.Solve(linalg.Vec(b), eps)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.X = append(resp.X, res.X)
+		resp.Iterations = append(resp.Iterations, res.Iterations)
+		resp.SparsifierEdges = res.SparsifierEdges
+	}
+	after := e.sess.Rounds()
+	resp.Rounds = WireRounds{
+		Total:    after.Total - before.Total,
+		Measured: after.Measured - before.Measured,
+		Charged:  after.Charged - before.Charged,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
+	var req SparsifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := req.Graph.Graph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	budget, err := req.Budget.Budget()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+
+	e, _ := s.sparse.acquire(g.Fingerprint())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cached := e.built(g)
+	var snap rounds.Snapshot
+	if cached {
+		s.poolHit(true)
+		snap = rounds.Snap(e.led)
+		e.chain.SetBudget(budget)
+		if _, err := e.chain.Reweight(g.Weights()); err != nil {
+			e.chain.SetBudget(nil)
+			s.fail(w, err)
+			return
+		}
+	} else {
+		s.poolHit(false)
+		led := rounds.New()
+		snap = rounds.Snap(led)
+		chain, err := sparsify.NewChain(g.Clone(), sparsify.ChainOptions{
+			ExactOnly: true,
+			Sparsify: sparsify.Options{
+				Ledger: led, Budget: budget,
+				Workers: s.opts.Workers, Metrics: s.reg,
+			},
+		})
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		e.chain, e.led, e.sess, e.guard = chain, led, nil, g
+		e.builds++
+	}
+	defer e.chain.SetBudget(nil)
+
+	alpha := 0.0
+	if g.IsConnected() {
+		alpha, err = sparsify.MeasureAlpha(g, e.chain.H(), 150)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	d := snap.Stats()
+	writeJSON(w, http.StatusOK, SparsifyResponse{
+		H:      ToWireGraph(e.chain.H()),
+		Alpha:  alpha,
+		Cached: cached,
+		Rounds: WireRounds{Total: d.TotalRounds(), Measured: d.MeasuredRounds, Charged: d.ChargedRounds},
+	})
+}
+
+func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
+	var req OrientRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := req.Graph.Graph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	budget, err := req.Budget.Budget()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	resp, err := core.Do(core.Request{Op: core.OpOrient, Graph: g, Run: s.run(budget)})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OrientResponse{
+		Orient:     resp.Eulerian.Orient,
+		Iterations: resp.Eulerian.Iterations,
+		Rounds:     toWireRounds(resp.Rounds),
+	})
+}
+
+func (s *Server) handleMaxFlow(w http.ResponseWriter, r *http.Request) {
+	var req MaxFlowRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dg, err := req.Graph.DiGraph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	budget, err := req.Budget.Budget()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	resp, err := core.Do(core.Request{
+		Op: core.OpMaxFlow, DiGraph: dg,
+		Args: core.Args{Source: req.Source, Sink: req.Sink},
+		Run:  s.run(budget),
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MaxFlowResponse{
+		Value:              resp.MaxFlow.Value,
+		Flow:               resp.MaxFlow.Flow,
+		IPMIterations:      resp.MaxFlow.IPMIterations,
+		FinalAugmentations: resp.MaxFlow.FinalAugmentations,
+		Rounds:             toWireRounds(resp.Rounds),
+	})
+}
+
+func (s *Server) handleMinCostFlow(w http.ResponseWriter, r *http.Request) {
+	var req MinCostFlowRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dg, err := req.Graph.DiGraph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	budget, err := req.Budget.Budget()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	resp, err := core.Do(core.Request{
+		Op: core.OpMinCostFlow, DiGraph: dg,
+		Args: core.Args{Sigma: req.Sigma},
+		Run:  s.run(budget),
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MinCostFlowResponse{
+		Flow:                resp.MinCostFlow.Flow,
+		Cost:                resp.MinCostFlow.Cost,
+		ProgressIterations:  resp.MinCostFlow.ProgressIterations,
+		RepairAugmentations: resp.MinCostFlow.RepairAugmentations,
+		Rounds:              toWireRounds(resp.Rounds),
+	})
+}
+
+func (s *Server) poolHit(hit bool) {
+	outcome := "miss"
+	if hit {
+		s.poolHits.Add(1)
+		outcome = "hit"
+	} else {
+		s.poolMisses.Add(1)
+	}
+	s.reg.Counter("lapcc_serve_pool_total", "Session-pool lookups by outcome.", "outcome", outcome).Inc()
+}
+
+// fail maps a solver error onto the wire: budget exhaustion is a client-
+// visible 429 carrying the partial rounds, request-shape problems are 400,
+// everything else is 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var be *rounds.BudgetError
+	switch {
+	case errors.As(err, &be):
+		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "budget_exceeded").Inc()
+		writeError(w, http.StatusTooManyRequests, "budget_exceeded", err.Error(),
+			be.Partial.MeasuredRounds+be.Partial.ChargedRounds)
+	case errors.Is(err, core.ErrBadRequest):
+		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+	default:
+		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "internal").Inc()
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+	}
+}
+
+func toWireRounds(r core.RoundReport) WireRounds {
+	return WireRounds{Total: r.Total, Measured: r.Measured, Charged: r.Charged}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "body: "+err.Error(), 0)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string, partialRounds int64) {
+	writeJSON(w, status, errorEnvelope{Error: WireError{Code: code, Message: msg, Rounds: partialRounds}})
+}

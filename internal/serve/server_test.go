@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/metrics"
+)
+
+func solveBody(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	wg := ToWireGraph(g)
+	b := make([]float64, g.N())
+	b[0], b[g.N()-1] = 1, -1
+	raw, err := json.Marshal(SolveRequest{Graph: &wg, RHS: [][]float64{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestPoolReuseSkipsRebuild pins the tentpole's warm path from the inside:
+// a second solve on a repeated topology (same structure, new weights in the
+// same binary class) must reuse the pooled session — one lifetime build,
+// one exact chain reuse, zero rebuilds — instead of re-running the
+// Theorem 3.3 preprocessing.
+func TestPoolReuseSkipsRebuild(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := graph.RandomRegular(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(solveBody(t, g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post()
+	for i := 0; i < g.M(); i++ {
+		if err := g.SetWeight(i, 1.25+float64(i%4)/8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post()
+
+	e, existed := s.solve.acquire(g.Fingerprint())
+	if !existed {
+		t.Fatal("no pooled entry for the topology")
+	}
+	if e.builds != 1 {
+		t.Fatalf("entry saw %d builds, want 1 (second request must reuse)", e.builds)
+	}
+	cs := e.sess.ChainStats()
+	if cs.ExactReuses != 1 || cs.Rebuilds != 0 {
+		t.Fatalf("chain stats %+v: want exactly one exact reuse and no rebuilds", cs)
+	}
+	if st := s.Stats(); st.PoolHits != 1 || st.PoolMisses != 1 {
+		t.Fatalf("stats %+v: want one hit, one miss", st)
+	}
+}
+
+// TestAdmissionSheds pins load shedding deterministically via the hold
+// hook: with one inflight slot occupied, the next request is refused with a
+// typed 429 before any solver work runs.
+func TestAdmissionSheds(t *testing.T) {
+	s := New(Options{MaxInflight: 1})
+	s.hold = make(chan struct{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := graph.RandomRegular(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := solveBody(t, g)
+
+	first := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	// Wait until the held request owns the only slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "overloaded" {
+		t.Fatalf("code %q, want overloaded", env.Error.Code)
+	}
+	if s.Stats().Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", s.Stats().Shed)
+	}
+
+	close(s.hold)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolEviction pins the LRU bound: with capacity 2, a third topology
+// evicts the least-recently-used entry.
+func TestPoolEviction(t *testing.T) {
+	p := newSessionPool(2)
+	a, existed := p.acquire(1)
+	if existed || a == nil {
+		t.Fatal("fresh acquire must create")
+	}
+	p.acquire(2)
+	p.acquire(1) // touch 1 so 2 is now LRU
+	p.acquire(3) // evicts 2
+	if p.size() != 2 {
+		t.Fatalf("size %d, want 2", p.size())
+	}
+	if _, existed := p.acquire(2); existed {
+		t.Fatal("entry 2 should have been evicted")
+	}
+}
+
+// TestServeMetrics checks the serving instruments reach the registry and
+// the /metrics endpoint is mounted.
+func TestServeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Options{Metrics: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := graph.RandomRegular(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(solveBody(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mr.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("lapcc_serve_requests_total")) {
+		t.Fatal("serve counters missing from /metrics exposition")
+	}
+}
+
+// TestWireGraphRoundTrip pins the wire encoding: edge ids and weights
+// survive Graph -> WireGraph -> Graph, and fingerprints agree.
+func TestWireGraphRoundTrip(t *testing.T) {
+	g, err := graph.RandomRegular(24, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := ToWireGraph(g)
+	back, err := wg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint changed across the wire")
+	}
+	for i, e := range g.Edges() {
+		if be := back.Edge(i); be != e {
+			t.Fatalf("edge %d: %v != %v", i, be, e)
+		}
+	}
+
+	dg := graph.LayeredDAG(2, 3, 2, 5, 4)
+	wd := ToWireDiGraph(dg)
+	dback, err := wd.DiGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dback.Fingerprint() != dg.Fingerprint() {
+		t.Fatal("digraph fingerprint changed across the wire")
+	}
+}

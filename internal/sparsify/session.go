@@ -62,6 +62,14 @@ type ChainOptions struct {
 	DriftBound float64
 	// LanczosK is the Krylov dimension of the α re-measurement (default 40).
 	LanczosK int
+	// ExactOnly restricts Reweight to tier-1 reuse: the structure is kept
+	// only when the class partition is unchanged — where a fresh rebuild
+	// would be bit-identical — and every other reweight rebuilds. This
+	// trades the drift-certified reuse tiers for a hard guarantee that the
+	// chain's sparsifier always equals what a cold build on the current
+	// weights would produce, which the serving layer's differential
+	// contract (pooled responses bit-identical to fresh solves) requires.
+	ExactOnly bool
 }
 
 func (o *ChainOptions) defaults() {
@@ -141,6 +149,15 @@ func (c *Chain) Graph() *graph.Graph { return c.g }
 
 // Stats returns the lifetime reuse counters.
 func (c *Chain) Stats() ChainStats { return c.stats }
+
+// SetBudget replaces the budget consulted by subsequent rebuilds, binding it
+// to the chain's ledger so its round limit meters from the current totals. A
+// nil budget removes the limit. The serving layer uses this to apply
+// per-request admission budgets to pooled chains.
+func (c *Chain) SetBudget(b *rounds.Budget) {
+	b.Bind(c.opts.Sparsify.Ledger)
+	c.opts.Sparsify.Budget = b
+}
 
 // mirrorStats pushes the counter increments since the last mirror into the
 // chain's metrics registry (the reweight-vs-rebuild hit counters of the
@@ -234,6 +251,18 @@ func (c *Chain) Reweight(w []float64) (bool, error) {
 		c.stats.ExactReuses++
 		c.replayCharges()
 		return true, nil
+	}
+
+	// ExactOnly forgoes tiers 2 and 3: any partition change rebuilds, so the
+	// sparsifier never drifts from what a cold build would produce.
+	if c.opts.ExactOnly {
+		rsp := tr.Startf("rebuild-%d", c.stats.Rebuilds+1)
+		defer rsp.End()
+		c.stats.Rebuilds++
+		if err := c.build(); err != nil {
+			return false, fmt.Errorf("sparsify: rebuild after reweight: %w", err)
+		}
+		return false, nil
 	}
 
 	// Tier 2: partition changed, but the weight envelope since the last
