@@ -26,7 +26,7 @@ define run-bench
 $(GO) test -run xxx -bench '$(1)' -benchmem -benchtime $(BENCHTIME) $(2)
 endef
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults serve-smoke
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults serve-smoke net-smoke bench-net
 
 all: build
 
@@ -117,4 +117,27 @@ serve-smoke:
 	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
 	$$tmp/loadgen -base http://$(SERVE_ADDR) -gate
 
-check: fmt-check vet build race bench-smoke trace-smoke serve-smoke
+# Multi-process transport smoke + gate: build the worker binary and flowcc,
+# solve the same max-flow instance (with an injected fault plan) through the
+# in-process merge and through a 4-process TCP clique on loopback, and
+# require byte-identical reports — flow value, IPM iteration counts, and the
+# full charged-round breakdown. Exercises the subprocess spawn, mesh
+# bootstrap, barrier, and shutdown paths end to end; the worker processes
+# are owned and reaped by flowcc's coordinator, so teardown is just the
+# temp dir.
+net-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/lapccnode ./cmd/lapccnode; \
+	$(GO) build -o $$tmp/flowcc ./cmd/flowcc; \
+	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 >$$tmp/local.out; \
+	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 \
+		-transport tcp,procs=4,bin=$$tmp/lapccnode | grep -v '^transport:' >$$tmp/tcp.out; \
+	diff -u $$tmp/local.out $$tmp/tcp.out; \
+	echo "net-smoke: OK (tcp output byte-identical to local)"
+
+# Re-measure the per-backend delivery figures behind BENCH_net.json.
+bench-net:
+	$(GO) run ./cmd/benchgate -suites net
+
+check: fmt-check vet build race bench-smoke trace-smoke serve-smoke net-smoke

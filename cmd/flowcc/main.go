@@ -28,6 +28,7 @@ import (
 	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
+	"lapcc/internal/transport/tcp"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run() error {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
 		workers   = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
+		transport = flag.String("transport", "local", "delivery backend: 'local', 'mem' (in-process wire codec), or 'tcp[,procs=N][,bin=PATH]' (multi-process loopback clique); results are bit-identical across backends")
 	)
 	flag.Parse()
 
@@ -86,6 +88,17 @@ func run() error {
 			return err
 		}
 		ro.Budget = b
+	}
+	if *transport != "" && *transport != "local" {
+		bt, err := tcp.Open(*transport)
+		if err != nil {
+			return err
+		}
+		if bt != nil {
+			defer bt.Close()
+			ro.Transport = bt
+			fmt.Printf("transport: %s\n", *transport)
+		}
 	}
 	finishTrace := func() error {
 		if !tr.Enabled() {

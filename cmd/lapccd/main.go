@@ -65,7 +65,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Slow-client hardening: a stalled or malicious connection must not pin
+	// a server goroutine forever. Solves themselves run within ReadTimeout's
+	// body window; per-request round budgets bound them much tighter.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Printf("lapccd: serving on http://%s (pool %d, stats at /v1/stats)\n", ln.Addr(), *poolSize)
 
 	errc := make(chan error, 1)

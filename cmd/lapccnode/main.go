@@ -1,0 +1,30 @@
+// Command lapccnode is one worker process of a multi-process congested
+// clique. It is not run by hand: the TCP transport coordinator (an engine
+// configured with -transport tcp, or the net-smoke harness) execs one
+// lapccnode per worker, hands it the coordinator address, and the process
+// serves delivery barriers until it is shut down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lapcc/internal/transport/tcp"
+)
+
+func main() {
+	coord := flag.String("coord", "", "coordinator address (host:port)")
+	id := flag.Int("id", -1, "worker id in [0, procs)")
+	procs := flag.Int("procs", 0, "total worker count")
+	flag.Parse()
+
+	if *coord == "" || *id < 0 || *procs <= 0 || *id >= *procs {
+		fmt.Fprintln(os.Stderr, "lapccnode: -coord, -id, and -procs are required (0 <= id < procs)")
+		os.Exit(2)
+	}
+	if err := tcp.RunNode(*coord, *id, *procs); err != nil {
+		fmt.Fprintf(os.Stderr, "lapccnode: %v\n", err)
+		os.Exit(1)
+	}
+}

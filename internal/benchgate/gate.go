@@ -75,6 +75,13 @@ var Suites = []Suite{
 		Tol:          &ServeTolerance,
 		Bootstrap:    true,
 	},
+	{
+		Name:         "net",
+		Baseline:     "BENCH_net.json",
+		MeasureBench: MeasureNetWorkload,
+		Tol:          &NetTolerance,
+		Bootstrap:    true,
+	},
 }
 
 // SuiteByName returns the registered suite with the given name.

@@ -51,6 +51,14 @@ func (s *batchScratch) release() {
 // need more rounds to move proportionally more messages; batching charges
 // exactly that.
 func RouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Packet, RouteResult, error) {
+	return routeBatchedVia(nil, n, packets, ledger, tag)
+}
+
+// routeBatchedVia is the batching loop with an optional transport threaded
+// into every flush, so each admissible batch is physically delivered on its
+// own barrier and the per-destination concatenation order matches the
+// in-process version batch for batch.
+func routeBatchedVia(t Transport, n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Packet, RouteResult, error) {
 	out := make([][]Packet, n)
 	var agg RouteResult
 	s := batchPool.Get().(*batchScratch)
@@ -78,7 +86,7 @@ func RouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([
 		if len(batch) == 0 {
 			return nil
 		}
-		delivered, res, err := Route(n, batch, ledger, tag)
+		delivered, res, err := RouteVia(t, n, batch, ledger, tag)
 		if err != nil {
 			return err
 		}

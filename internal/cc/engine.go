@@ -120,10 +120,18 @@ type Engine struct {
 	delayQ     []delayedMsg // in-flight delayed messages
 	stallBuf   [][]Message  // per-node buffers for messages to stalled nodes
 	stallHeld  int          // total messages across stallBuf
+	injFlat    []Message    // fault-injector snapshot of one round's inboxes
+	injOff     []int        // per-destination offsets into injFlat
+
+	// Delivery backend (see transport.go): local is the default in-process
+	// merge, external overrides it when set via SetTransport.
+	local    localTransport
+	external Transport
 
 	// Reusable execution state, lazily sized on first Run and recycled
 	// across rounds and across Run calls.
 	ws        []*workerState
+	outView   []Outbox // per-worker outbox views handed to the transport
 	inboxFlat []Message
 	inboxes   [][]Message
 	dstCount  []int
@@ -150,7 +158,9 @@ var (
 
 // NewEngine returns a clique of n nodes with the default message width.
 func NewEngine(n int) *Engine {
-	return &Engine{n: n, maxWords: DefaultMaxWords}
+	e := &Engine{n: n, maxWords: DefaultMaxWords}
+	e.local.e = e
+	return e
 }
 
 // N returns the number of nodes.
@@ -224,13 +234,6 @@ type delayedMsg struct {
 // and may be retained.
 func (e *Engine) SetObserver(obs func(RoundStats)) { e.observer = obs }
 
-// outMsg is one buffered send: the payload lives in the worker's arena at
-// [off, off+width).
-type outMsg struct {
-	from, to   int32
-	off, width int32
-}
-
 // workerState is the private per-worker execution state. Workers own the
 // contiguous node block [lo, hi); nothing here is shared across goroutines
 // during the compute phase.
@@ -238,7 +241,7 @@ type workerState struct {
 	e      *Engine
 	lo, hi int
 
-	outbox []outMsg
+	outbox []OutMsg
 	// arena double-buffers payload words by round parity: the arena written
 	// in round r is read (through inbox Data slices) during round r+1 while
 	// the worker writes the other arena.
@@ -319,8 +322,8 @@ func (w *workerState) doSend(to int, data []int64) {
 	a := w.arena[w.parity]
 	off := len(a)
 	w.arena[w.parity] = append(a, data...)
-	w.outbox = append(w.outbox, outMsg{
-		from: int32(v), to: int32(to), off: int32(off), width: int32(len(data)),
+	w.outbox = append(w.outbox, OutMsg{
+		From: int32(v), To: int32(to), Off: int32(off), Width: int32(len(data)),
 	})
 }
 
@@ -389,12 +392,24 @@ func (e *Engine) ensureState(workers int) {
 			e.ws[i] = newWorkerState(e, lo, hi)
 		}
 	}
+	if len(e.outView) != len(e.ws) {
+		e.outView = make([]Outbox, len(e.ws))
+	}
 	if len(e.inboxes) != e.n {
 		e.inboxes = make([][]Message, e.n)
 		e.dstCount = make([]int, e.n)
 		e.dstOff = make([]int, e.n+1)
 		e.srcCount = make([]int, e.n)
 	}
+}
+
+// transport resolves the delivery backend for this Run: the external one
+// when installed, the engine's own in-process merge otherwise.
+func (e *Engine) transport() Transport {
+	if e.external != nil {
+		return e.external
+	}
+	return &e.local
 }
 
 // Run executes the program until every node reports done in the same round
@@ -425,6 +440,8 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 	}
 	mi := e.bindMetrics()
 	instr := e.observer != nil || mi != nil
+	tr := e.transport()
+	inboxes := e.inboxes
 	var wg sync.WaitGroup
 	for r := 0; ; r++ {
 		var t0 time.Time
@@ -432,14 +449,17 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			t0 = time.Now()
 		}
 		if workers == 1 {
-			e.ws[0].runRound(step, r, e.inboxes)
+			e.ws[0].runRound(step, r, inboxes)
 		} else {
 			for _, w := range e.ws {
 				wg.Add(1)
-				go func(w *workerState) {
+				// inboxes rides along as an argument: capturing the
+				// reassigned variable would force it to the heap and cost
+				// the zero-alloc path one allocation per Run.
+				go func(w *workerState, inb [][]Message) {
 					defer wg.Done()
-					w.runRound(step, r, e.inboxes)
-				}(w)
+					w.runRound(step, r, inb)
+				}(w, inboxes)
 			}
 			wg.Wait()
 		}
@@ -467,7 +487,7 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			// sent before failing: those from nodes up to the erroring one.
 			for _, w := range e.ws {
 				for _, m := range w.outbox {
-					if int(m.from) <= errNode {
+					if int(m.From) <= errNode {
 						e.messages++
 					}
 				}
@@ -493,16 +513,25 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 		if instr {
 			t0 = time.Now()
 		}
+		for i, w := range e.ws {
+			e.outView[i] = Outbox{Msgs: w.outbox, Arena: w.arena[w.parity]}
+		}
+		delivered, _, err := tr.Deliver(r, e.n, e.outView)
+		if err != nil {
+			return e.rounds - start, fmt.Errorf("cc: transport delivery in round %d: %w", r, err)
+		}
 		var roundFaults FaultStats
 		if e.faults != nil {
-			roundFaults = e.mergeFaulty(r)
+			// The plan injects above the transport boundary: whatever backend
+			// carried the round, its clean delivery is faulted here, so all
+			// backends replay the same fault schedule bit for bit.
+			roundFaults = e.injectFaults(r, delivered)
 			for _, w := range e.ws {
 				roundFaults.StalledSteps += int64(w.stalled)
 			}
 			e.faultStats.add(roundFaults)
-		} else {
-			e.mergeOutboxes(sent)
 		}
+		inboxes = delivered
 		e.rounds++
 		var mergeDur time.Duration
 		if instr {
@@ -516,7 +545,7 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			words := 0
 			for _, w := range e.ws {
 				for _, m := range w.outbox {
-					words += int(m.width)
+					words += int(m.Width)
 				}
 			}
 			mi.rounds.Inc()
@@ -531,25 +560,40 @@ func (e *Engine) Run(step Step, maxRounds int) (int64, error) {
 			}
 		}
 		if e.observer != nil {
-			e.emitStats(r, sent, busy, stepDur, mergeDur, roundFaults)
+			e.emitStats(r, sent, busy, stepDur, mergeDur, roundFaults, inboxes)
 		}
 	}
 }
 
-// mergeFaulty is the fault-injecting counterpart of mergeOutboxes: it builds
-// the next round's inboxes while applying the plan's per-message fates and
-// the stall/crash buffering rules. It runs on the Run goroutine and visits
-// workers in ascending node-block order, so the injected faults — decided by
-// (round, from, to) alone — are identical for every worker count. Unlike
-// the clean path it allocates (fault mode trades the zero-allocation
-// guarantee for the richer delivery semantics). It returns this round's
-// fault counters (stall-step counts are added by the caller).
-func (e *Engine) mergeFaulty(r int) FaultStats {
+// injectFaults applies the plan's per-message fates and stall/crash
+// buffering rules to one round's cleanly delivered inboxes, rewriting inb in
+// place. It runs on the Run goroutine after the transport barrier, so the
+// injected faults — decided by (round, from, to) alone — are identical for
+// every worker count and every delivery backend. Unlike the clean path it
+// allocates (fault mode trades the zero-allocation guarantee for the richer
+// delivery semantics). It returns this round's fault counters (stall-step
+// counts are added by the caller).
+//
+// Per destination the rebuilt inbox is [stall-flush][released delays][fresh
+// sends], each segment in ascending source order — exactly the order the
+// pre-transport engine produced.
+func (e *Engine) injectFaults(r int, inb [][]Message) FaultStats {
 	var fs FaultStats
 	next := r + 1
-	for d := range e.inboxes {
-		e.inboxes[d] = nil
+	// Snapshot the fresh deliveries: the per-destination slices are about to
+	// be rebuilt in place (they are views into transport-owned buffers, so
+	// truncate-and-append reuses their storage when nothing is prepended).
+	flat := e.injFlat[:0]
+	if len(e.injOff) != len(inb)+1 {
+		e.injOff = make([]int, len(inb)+1)
 	}
+	off := e.injOff
+	for d, msgs := range inb {
+		off[d] = len(flat)
+		flat = append(flat, msgs...)
+		inb[d] = inb[d][:0]
+	}
+	off[len(inb)] = len(flat)
 	// Wake-up flushes first: messages buffered while a node was stalled are
 	// older than anything sent this round, so they land at the front of the
 	// inbox. A node that crashed while holding a buffer loses it.
@@ -567,7 +611,7 @@ func (e *Engine) mergeFaulty(r int) FaultStats {
 			if e.faults.stalledAt(d, next) {
 				continue
 			}
-			e.inboxes[d] = append(e.inboxes[d], e.stallBuf[d]...)
+			inb[d] = append(inb[d], e.stallBuf[d]...)
 			e.stallHeld -= len(e.stallBuf[d])
 			e.stallBuf[d] = e.stallBuf[d][:0]
 		}
@@ -578,13 +622,13 @@ func (e *Engine) mergeFaulty(r int) FaultStats {
 			return
 		}
 		if e.faults.stalledAt(to, next) {
-			// Buffered payloads must survive arena recycling: copy.
+			// Buffered payloads must survive buffer recycling: copy.
 			cp := Message{From: m.From, Data: append([]int64(nil), m.Data...)}
 			e.stallBuf[to] = append(e.stallBuf[to], cp)
 			e.stallHeld++
 			return
 		}
-		e.inboxes[to] = append(e.inboxes[to], m)
+		inb[to] = append(inb[to], m)
 	}
 	// Delayed messages whose release round arrived deliver before this
 	// round's fresh sends (they were sent earlier).
@@ -599,90 +643,49 @@ func (e *Engine) mergeFaulty(r int) FaultStats {
 		}
 		e.delayQ = keep
 	}
-	// Fresh sends in worker order = ascending source order, exactly the
-	// clean merge's arrival order.
-	for _, w := range e.ws {
-		arena := w.arena[w.parity]
-		for _, m := range w.outbox {
-			data := arena[m.off : m.off+m.width : m.off+m.width]
-			kind, delay := e.faults.engineFate(r, int(m.from), int(m.to))
+	// Fresh deliveries, per destination in ascending source order — the
+	// transport contract guarantees that is the order of the snapshot.
+	for d := 0; d < len(inb); d++ {
+		for _, m := range flat[off[d]:off[d+1]] {
+			kind, delay := e.faults.engineFate(r, m.From, d)
 			switch kind {
 			case faultDrop:
 				fs.Dropped++
 				continue
 			case faultCorrupt:
-				if m.width > 0 {
-					// The arena slot is exclusive to this message; flip a
+				if len(m.Data) > 0 {
+					// The payload slot is exclusive to this message; flip a
 					// deterministically chosen bit in place.
-					h := int(e.faults.hash(saltCorrupt, uint64(r), uint64(m.from), uint64(m.to)) >> 1)
-					data[h%len(data)] ^= 1 << uint((h/len(data))%64)
+					h := int(e.faults.hash(saltCorrupt, uint64(r), uint64(m.From), uint64(d)) >> 1)
+					m.Data[h%len(m.Data)] ^= 1 << uint((h/len(m.Data))%64)
 					fs.Corrupted++
 				}
 			case faultDuplicate:
 				fs.Duplicated++
-				deliver(int(m.to), Message{From: int(m.from), Data: data})
+				deliver(d, m)
 			case faultDelay:
 				fs.Delayed++
 				e.delayQ = append(e.delayQ, delayedMsg{
-					from: m.from, to: m.to, release: next + delay,
-					data: append([]int64(nil), data...),
+					from: int32(m.From), to: int32(d), release: next + delay,
+					data: append([]int64(nil), m.Data...),
 				})
 				continue
 			}
-			deliver(int(m.to), Message{From: int(m.from), Data: data})
+			deliver(d, m)
 		}
 	}
-	// Keep dstCount coherent for emitStats' MaxIn figure.
-	for d := range e.inboxes {
-		e.dstCount[d] = len(e.inboxes[d])
+	// Drop the snapshot's payload pointers so the recycled scratch does not
+	// pin transport buffers across rounds.
+	for i := range flat {
+		flat[i] = Message{}
 	}
+	e.injFlat = flat[:0]
 	return fs
-}
-
-// mergeOutboxes builds the next round's inboxes from the workers' private
-// outboxes. Workers hold ascending node blocks and each outbox is in
-// step order, so filling in worker order reproduces the per-destination
-// arrival order of a sequential execution. All buffers are recycled.
-func (e *Engine) mergeOutboxes(total int) {
-	dc := e.dstCount
-	for i := range dc {
-		dc[i] = 0
-	}
-	for _, w := range e.ws {
-		for i := range w.outbox {
-			dc[w.outbox[i].to]++
-		}
-	}
-	if cap(e.inboxFlat) < total {
-		e.inboxFlat = make([]Message, total)
-	}
-	flat := e.inboxFlat[:total]
-	off := e.dstOff
-	sum := 0
-	for d := 0; d < e.n; d++ {
-		off[d] = sum
-		sum += dc[d]
-	}
-	off[e.n] = sum
-	for _, w := range e.ws {
-		arena := w.arena[w.parity]
-		for _, m := range w.outbox {
-			p := off[m.to]
-			off[m.to] = p + 1
-			flat[p] = Message{From: int(m.from), Data: arena[m.off : m.off+m.width : m.off+m.width]}
-		}
-	}
-	sum = 0
-	for d := 0; d < e.n; d++ {
-		e.inboxes[d] = flat[sum : sum+dc[d] : sum+dc[d]]
-		sum += dc[d]
-	}
-	e.inboxFlat = flat
 }
 
 // emitStats assembles the deterministic per-round statistics for the
 // observer. Only runs when instrumentation is on.
-func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration, faults FaultStats) {
+func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration, faults FaultStats, inboxes [][]Message) {
 	sc := e.srcCount
 	for i := range sc {
 		sc[i] = 0
@@ -692,19 +695,19 @@ func (e *Engine) emitStats(r, sent, busy int, stepDur, mergeDur time.Duration, f
 	maxOut, maxIn := 0, 0
 	for _, w := range e.ws {
 		for _, m := range w.outbox {
-			sc[m.from]++
-			if sc[m.from] > maxOut {
-				maxOut = sc[m.from]
+			sc[m.From]++
+			if sc[m.From] > maxOut {
+				maxOut = sc[m.From]
 			}
-			words += int(m.width)
-			if int(m.width) < len(hist) {
-				hist[m.width]++
+			words += int(m.Width)
+			if int(m.Width) < len(hist) {
+				hist[m.Width]++
 			}
 		}
 	}
-	for _, c := range e.dstCount {
-		if c > maxIn {
-			maxIn = c
+	for _, msgs := range inboxes {
+		if len(msgs) > maxIn {
+			maxIn = len(msgs)
 		}
 	}
 	e.observer(RoundStats{

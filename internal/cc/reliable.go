@@ -3,7 +3,6 @@ package cc
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"lapcc/internal/rounds"
 )
@@ -104,7 +103,15 @@ type routerFunc func(n int, packets []Packet, ledger *rounds.Ledger, tag string)
 // packet set must satisfy the Lenzen admissibility condition, exactly as
 // for Route.
 func ReliableRoute(n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
-	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, Route)
+	return ReliableRouteVia(nil, n, packets, ledger, tag, plan)
+}
+
+// ReliableRouteVia is ReliableRoute with every wave — data and
+// retransmissions alike — physically carried by t (see RouteVia); packet
+// fates, charged rounds, and the delivered multiset are bit-identical to the
+// in-process version. A nil transport is plain ReliableRoute.
+func ReliableRouteVia(t Transport, n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
+	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, routerFor(t, false))
 	if plan.messageFates() {
 		instrumentsFor(globalMetrics.Load()).recordReliable(res, errors.Is(err, ErrDeliveryFailed))
 	}
@@ -115,7 +122,13 @@ func ReliableRoute(n int, packets []Packet, ledger *rounds.Ledger, tag string, p
 // ReliableRoute; arbitrary packet sets are split into admissible batches per
 // wave.
 func ReliableRouteBatched(n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
-	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, RouteBatched)
+	return ReliableRouteBatchedVia(nil, n, packets, ledger, tag, plan)
+}
+
+// ReliableRouteBatchedVia is ReliableRouteBatched over a transport, with the
+// same bit-identity contract as ReliableRouteVia.
+func ReliableRouteBatchedVia(t Transport, n int, packets []Packet, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([][]Packet, ReliableResult, error) {
+	out, res, err := reliableDeliver(n, packets, ledger, tag, plan, routerFor(t, true))
 	if plan.messageFates() {
 		instrumentsFor(globalMetrics.Load()).recordReliable(res, errors.Is(err, ErrDeliveryFailed))
 	}
@@ -260,14 +273,7 @@ func reliableDeliver(n int, packets []Packet, ledger *rounds.Ledger, tag string,
 	// Canonical per-destination order, matching Route's: by source, then
 	// payload. With every packet delivered exactly once this makes the
 	// result bit-identical to a clean Route of the same set.
-	for d := 0; d < n; d++ {
-		sort.Slice(out[d], func(i, j int) bool {
-			if out[d][i].Src != out[d][j].Src {
-				return out[d][i].Src < out[d][j].Src
-			}
-			return lessData(out[d][i].Data, out[d][j].Data)
-		})
-	}
+	canonicalOrder(out)
 	return out, agg, nil
 }
 
@@ -276,9 +282,17 @@ func reliableDeliver(n int, packets []Packet, ledger *rounds.Ledger, tag string,
 // (deterministically chosen) receiver pairs that missed it. A nil or
 // fault-free plan delegates to BroadcastAll unchanged.
 func ReliableBroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([]int64, ReliableResult, error) {
+	return ReliableBroadcastAllVia(nil, n, values, ledger, tag, plan)
+}
+
+// ReliableBroadcastAllVia is ReliableBroadcastAll with the announcement and
+// every retransmission wave physically carried by t, with the same
+// bit-identity contract as ReliableRouteVia. A nil transport is plain
+// ReliableBroadcastAll.
+func ReliableBroadcastAllVia(t Transport, n int, values []int64, ledger *rounds.Ledger, tag string, plan *FaultPlan) ([]int64, ReliableResult, error) {
 	var agg ReliableResult
 	if !plan.messageFates() {
-		vals, err := BroadcastAll(n, values, ledger, tag)
+		vals, err := BroadcastAllVia(t, n, values, ledger, tag)
 		agg.Attempts = 1
 		return vals, agg, err
 	}
@@ -289,7 +303,7 @@ func ReliableBroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag stri
 		return nil, agg, err
 	}
 	// Wave 0: the plain broadcast round.
-	vals, err := BroadcastAll(n, values, ledger, tag)
+	vals, err := BroadcastAllVia(t, n, values, ledger, tag)
 	if err != nil {
 		return nil, agg, err
 	}
@@ -321,7 +335,7 @@ func ReliableBroadcastAll(n int, values []int64, ledger *rounds.Ledger, tag stri
 		}
 	}
 	if len(failed) > 0 {
-		_, res, err := reliableDeliver(n, failed, ledger, tag+"-retry", plan, RouteBatched)
+		_, res, err := reliableDeliver(n, failed, ledger, tag+"-retry", plan, routerFor(t, true))
 		if err != nil {
 			instrumentsFor(globalMetrics.Load()).recordReliable(agg, errors.Is(err, ErrDeliveryFailed))
 			return nil, agg, err

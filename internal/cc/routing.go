@@ -253,7 +253,15 @@ func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Pack
 	// Deterministic per-destination order (by source, then payload) so the
 	// overall simulation is reproducible even though the model itself
 	// delivers unordered sets.
-	for d := 0; d < n; d++ {
+	canonicalOrder(out)
+	return out, res, nil
+}
+
+// canonicalOrder sorts every destination's packets by (source, payload) —
+// the deterministic order Route, the reliable layer, and the transport-backed
+// variants all promise, which is what makes their outputs interchangeable.
+func canonicalOrder(out [][]Packet) {
+	for d := range out {
 		sort.Slice(out[d], func(i, j int) bool {
 			if out[d][i].Src != out[d][j].Src {
 				return out[d][i].Src < out[d][j].Src
@@ -261,7 +269,6 @@ func Route(n int, packets []Packet, ledger *rounds.Ledger, tag string) ([][]Pack
 			return lessData(out[d][i].Data, out[d][j].Data)
 		})
 	}
-	return out, res, nil
 }
 
 func lessData(a, b []int64) bool {

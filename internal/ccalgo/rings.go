@@ -31,6 +31,10 @@ type Rings struct {
 	// values — and therefore colors and matchings — are bit-identical to a
 	// fault-free run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every exchange through the
+	// given delivery backend (see cc.Transport); nil keeps the in-process
+	// path. Results are bit-identical either way.
+	Transport cc.Transport
 }
 
 // ErrInconsistentRings reports a rings structure whose Succ/Pred pointers do
@@ -89,9 +93,9 @@ func (r *Rings) exchange(slots []int, vals []int64, target func(int) int, led *r
 	var delivered [][]cc.Packet
 	var err error
 	if r.Faults != nil {
-		delivered, _, err = cc.ReliableRouteBatched(r.CliqueN, pkts, led, tag, r.Faults)
+		delivered, _, err = cc.ReliableRouteBatchedVia(r.Transport, r.CliqueN, pkts, led, tag, r.Faults)
 	} else {
-		delivered, _, err = cc.RouteBatched(r.CliqueN, pkts, led, tag)
+		delivered, _, err = cc.RouteBatchedVia(r.Transport, r.CliqueN, pkts, led, tag)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("ccalgo: %s exchange: %w", tag, err)

@@ -15,8 +15,7 @@
 // the zero options value is a plain run. On top of them, Do(Request) is the
 // request-oriented form the serving daemon and the CLIs use: one Op tag, one
 // graph, one Args struct — the in-process mirror of the daemon's JSON
-// surface. The historical plain and Traced name variants survive as
-// deprecated one-line shims in deprecated.go for one release.
+// surface.
 //
 // Lower-level control (options, ablations, oracles, baselines) lives in the
 // internal packages; this facade wires them together with a shared ledger.
@@ -48,6 +47,13 @@ type RunOptions struct {
 	// reliable retransmission layer (see internal/cc). Answers are
 	// bit-identical to a fault-free run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every network primitive of
+	// the run through the given delivery backend — the in-process wire
+	// codec (transport.Mem) or the multi-process TCP clique (transport/tcp)
+	// — instead of the default in-process delivery. Answers, charged
+	// ledgers, and fault statistics are bit-identical across backends; the
+	// caller owns the transport's lifecycle (Close).
+	Transport cc.Transport
 	// Budget, if non-nil, bounds the run's rounds and/or wall clock.
 	// Exhaustion aborts at the next phase boundary with an error unwrapping
 	// to rounds.ErrBudgetExceeded that carries the partial round stats.
@@ -104,7 +110,7 @@ type LaplacianResult struct {
 func SolveLaplacianWith(g *graph.Graph, b linalg.Vec, eps float64, ro RunOptions) (*LaplacianResult, error) {
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 		Workers: ro.Workers,
 	})
 	if err != nil {
@@ -159,7 +165,7 @@ func NewLaplacianSession(g *graph.Graph, so SessionOptions) (*LaplacianSession, 
 	ro := so.Run
 	led := rounds.New()
 	s, err := lapsolver.NewSolver(g, lapsolver.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 		Workers: ro.Workers, WarmStart: so.Warm,
 		Chain: sparsify.ChainOptions{ExactOnly: so.ExactReuse},
 	})
@@ -231,7 +237,7 @@ type SparsifyResult struct {
 func SparsifyWith(g *graph.Graph, ro RunOptions) (*SparsifyResult, error) {
 	led := rounds.New()
 	res, err := sparsify.Sparsify(g, sparsify.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 		Workers: ro.Workers,
 	})
 	if err != nil {
@@ -262,7 +268,7 @@ type EulerianResult struct {
 func EulerianOrientWith(g *graph.Graph, ro RunOptions) (*EulerianResult, error) {
 	led := rounds.New()
 	orient, st, err := euler.Orient(g, nil, euler.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -301,7 +307,7 @@ type RoundFlowResult struct {
 func RoundFlowWith(req RoundFlowRequest, ro RunOptions) (*RoundFlowResult, error) {
 	led := rounds.New()
 	out, err := flowround.RoundWith(req.Graph, req.Flow, req.Source, req.Sink, req.Delta, req.UseCosts, flowround.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -327,7 +333,7 @@ func MaxFlowWith(dg *graph.DiGraph, s, t int, ro RunOptions) (*MaxFlowResult, er
 	led := rounds.New()
 	res, err := maxflow.MaxFlow(dg, s, t, maxflow.Options{
 		Ledger: led, FastSolve: true,
-		Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 		Workers: ro.Workers,
 	})
 	if err != nil {
@@ -360,7 +366,7 @@ type MinCostFlowResult struct {
 func MinCostFlowWith(dg *graph.DiGraph, sigma []int64, ro RunOptions) (*MinCostFlowResult, error) {
 	led := rounds.New()
 	res, err := mcmf.MinCostFlow(dg, sigma, mcmf.Options{
-		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Budget: ro.Budget, Metrics: ro.Metrics,
+		Ledger: led, Trace: ro.Trace, Faults: ro.Faults, Transport: ro.Transport, Budget: ro.Budget, Metrics: ro.Metrics,
 		Workers: ro.Workers,
 	})
 	if err != nil {

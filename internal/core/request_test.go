@@ -90,26 +90,3 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 }
-
-// The deprecated shims must stay behaviourally identical to the canonical
-// entry points they forward to.
-func TestDeprecatedShimsForward(t *testing.T) {
-	dg := graph.NewDi(3)
-	dg.MustAddArc(0, 1, 4, 1)
-	dg.MustAddArc(1, 2, 4, 1)
-	old, err := RoundFlow(dg, []float64{0.75, 0.75}, 0, 2, 0.25, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	canonical, err := RoundFlowWith(RoundFlowRequest{
-		Graph: dg, Flow: []float64{0.75, 0.75}, Source: 0, Sink: 2, Delta: 0.25,
-	}, RunOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range old.Flow {
-		if old.Flow[i] != canonical.Flow[i] {
-			t.Fatalf("shim flow[%d] %d != canonical %d", i, old.Flow[i], canonical.Flow[i])
-		}
-	}
-}

@@ -94,6 +94,10 @@ type Options struct {
 	// retransmission layer under the given fault plan. The orientation is
 	// bit-identical to a fault-free run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every routing step of the
+	// run through the given delivery backend (see cc.Transport); nil keeps
+	// the in-process path. The orientation is bit-identical either way.
+	Transport cc.Transport
 	// Budget, if non-nil, is checked at every contraction iteration;
 	// exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded.
@@ -221,19 +225,21 @@ type stateSet struct {
 	rng        *rand.Rand
 	deadProbes int
 	faults     *cc.FaultPlan
+	transport  cc.Transport
 
 	// expansion[k] holds the contraction records of iteration k.
 	expansion [][]contractionRecord
 }
 
 // route delivers one batched routing step, through the reliable
-// retransmission layer when a fault plan is installed.
+// retransmission layer when a fault plan is installed and over the
+// configured delivery backend when one is.
 func (s *stateSet) route(n int, pkts []cc.Packet, led *rounds.Ledger, tag string) ([][]cc.Packet, error) {
 	if s.faults != nil {
-		out, _, err := cc.ReliableRouteBatched(n, pkts, led, tag, s.faults)
+		out, _, err := cc.ReliableRouteBatchedVia(s.transport, n, pkts, led, tag, s.faults)
 		return out, err
 	}
-	out, _, err := cc.RouteBatched(n, pkts, led, tag)
+	out, _, err := cc.RouteBatchedVia(s.transport, n, pkts, led, tag)
 	return out, err
 }
 
@@ -252,18 +258,19 @@ type chainEntry struct {
 func newStateSet(g *graph.Graph, dirCost []int64, opts Options) *stateSet {
 	m := g.M()
 	s := &stateSet{
-		mode:     opts.Mode,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		faults:   opts.Faults,
-		g:        g,
-		owner:    make([]int, 2*m),
-		succ:     make([]int, 2*m),
-		pred:     make([]int, 2*m),
-		alive:    make([]bool, 2*m),
-		cost:     make([]int64, 2*m),
-		leaderID: make([]int64, 2*m),
-		want:     make([]bool, 2*m),
-		known:    make([]bool, 2*m),
+		mode:      opts.Mode,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		faults:    opts.Faults,
+		transport: opts.Transport,
+		g:         g,
+		owner:     make([]int, 2*m),
+		succ:      make([]int, 2*m),
+		pred:      make([]int, 2*m),
+		alive:     make([]bool, 2*m),
+		cost:      make([]int64, 2*m),
+		leaderID:  make([]int64, 2*m),
+		want:      make([]bool, 2*m),
+		known:     make([]bool, 2*m),
 	}
 	// Pair incident edges at every vertex by adjacency position: this is the
 	// internal, zero-round step 1 of Theorem 1.4.
@@ -336,7 +343,7 @@ func (s *stateSet) contractOnce(n int, led *rounds.Ledger, level int) error {
 			}
 		}
 	default:
-		rings := &ccalgo.Rings{CliqueN: n, Owner: s.owner, Succ: s.succ, Pred: s.pred, Alive: s.alive, Faults: s.faults}
+		rings := &ccalgo.Rings{CliqueN: n, Owner: s.owner, Succ: s.succ, Pred: s.pred, Alive: s.alive, Faults: s.faults, Transport: s.transport}
 		matchSucc, err := rings.MaximalMatching(led)
 		if err != nil {
 			return fmt.Errorf("euler: iteration %d: %w", level, err)

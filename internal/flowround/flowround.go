@@ -39,6 +39,11 @@ type Options struct {
 	// primitive of each level's Eulerian orientation; results are
 	// bit-identical to a fault-free run at a larger round cost.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every routing step of each
+	// level's Eulerian orientation through the given delivery backend (see
+	// cc.Transport); nil keeps the in-process path. The rounded flow is
+	// bit-identical either way.
+	Transport cc.Transport
 	// Budget, if non-nil, is checked at every scaling level; exhaustion
 	// aborts with an error unwrapping to rounds.ErrBudgetExceeded.
 	Budget *rounds.Budget
@@ -173,7 +178,7 @@ func RoundWith(dg *graph.DiGraph, f []float64, s, t int, delta float64, useCosts
 			}
 			orient, _, err := euler.Orient(g, dirCost, euler.Options{
 				Mode: opts.EulerMode, Seed: opts.EulerSeed, Ledger: led, Trace: tr,
-				Faults: opts.Faults, Budget: opts.Budget, Metrics: opts.Metrics,
+				Faults: opts.Faults, Transport: opts.Transport, Budget: opts.Budget, Metrics: opts.Metrics,
 			})
 			if err != nil {
 				lsp.End()

@@ -79,6 +79,11 @@ type Options struct {
 	// when that field is unset). Results are bit-identical to a fault-free
 	// run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every network primitive of
+	// the sparsifier chain through the given delivery backend (propagated
+	// to Sparsify.Transport when that field is unset; see cc.Transport).
+	// Results are bit-identical to the in-process path.
+	Transport cc.Transport
 	// Trace, if non-nil, receives hierarchical span and cost events for
 	// this call (see internal/trace); a nil tracer records nothing and
 	// costs nothing.
@@ -129,6 +134,9 @@ func (o *Options) defaults() {
 	o.Budget.BindIfUnbound(o.Ledger)
 	if o.Faults != nil && o.Sparsify.Faults == nil {
 		o.Sparsify.Faults = o.Faults
+	}
+	if o.Transport != nil && o.Sparsify.Transport == nil {
+		o.Sparsify.Transport = o.Transport
 	}
 	if o.Metrics != nil && o.Sparsify.Metrics == nil {
 		o.Sparsify.Metrics = o.Metrics

@@ -50,6 +50,11 @@ type Options struct {
 	// retransmission layer. The flow is bit-identical to a fault-free run;
 	// only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every network primitive of
+	// the pipeline — the Full-mode solver stack and the flow-rounding
+	// cascade — through the given delivery backend (see cc.Transport); nil
+	// keeps the in-process path. The flow is bit-identical either way.
+	Transport cc.Transport
 	// Budget, if non-nil, bounds the run: it is checked at every IPM
 	// iteration and propagated to the electrical session and the rounding
 	// cascade. Exhaustion aborts with an error unwrapping to
@@ -367,7 +372,7 @@ func (st *ipmState) sessionSolve(w []float64, b linalg.Vec, slot string) (linalg
 		opts := electrical.SessionOptions{Trace: st.opts.Trace, Budget: st.opts.Budget, Metrics: st.opts.Metrics, Workers: st.opts.Workers}
 		if !st.opts.FastSolve {
 			opts.Full = true
-			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Workers: st.opts.Workers}
+			opts.Solver = lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Transport: st.opts.Transport, Workers: st.opts.Workers}
 		}
 		sess, err := electrical.NewSession(st.supportGraph(w), opts)
 		if err != nil {
@@ -390,7 +395,7 @@ func (st *ipmState) solveFreshBaseline(w []float64, b linalg.Vec) (linalg.Vec, e
 		lg.SetPool(linalg.SharedPool(st.opts.Workers))
 		return linalg.LaplacianCGSolver(lg, st.opts.SolveEps)(b)
 	}
-	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Metrics: st.opts.Metrics, Workers: st.opts.Workers})
+	solver, err := lapsolver.NewSolver(support, lapsolver.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Transport: st.opts.Transport, Metrics: st.opts.Metrics, Workers: st.opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -641,7 +646,7 @@ func (st *ipmState) roundFlow(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("maxflow: snapping IPM flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, st.s, st.t, delta, false,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Transport: st.opts.Transport, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("maxflow: rounding IPM flow: %w", err)
 	}

@@ -46,6 +46,11 @@ type Options struct {
 	// restored by the reliable retransmission layer. The flow is
 	// bit-identical to a fault-free run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries every network primitive of
+	// the flow-rounding cascade through the given delivery backend (see
+	// cc.Transport); nil keeps the in-process path. The flow is
+	// bit-identical either way.
+	Transport cc.Transport
 	// Budget, if non-nil, bounds the run: it is checked at every IPM
 	// iteration and propagated to the electrical session and the rounding
 	// cascade. Exhaustion aborts with an error unwrapping to
@@ -601,7 +606,7 @@ func (st *cmsvState) roundToMatching(res *Result) ([]int64, error) {
 		return nil, fmt.Errorf("mcmf: snapping bipartite flow: %w", err)
 	}
 	rounded, err := flowround.RoundWith(rdg, snapped, S, T, delta, true,
-		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
+		flowround.Options{Ledger: st.opts.Ledger, Trace: st.opts.Trace, Faults: st.opts.Faults, Transport: st.opts.Transport, Budget: st.opts.Budget, Metrics: st.opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("mcmf: rounding bipartite flow: %w", err)
 	}

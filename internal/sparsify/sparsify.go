@@ -72,6 +72,10 @@ type Options struct {
 	// retransmission layer, cc.ReliableBroadcastAll). Results are
 	// bit-identical to a fault-free run; only the round cost grows.
 	Faults *cc.FaultPlan
+	// Transport, if non-nil, physically carries the per-level broadcast
+	// through the given delivery backend (see cc.Transport); nil keeps the
+	// in-process path. The sparsifier is bit-identical either way.
+	Transport cc.Transport
 	// Budget, if non-nil, is checked at every decomposition level;
 	// exhaustion aborts with an error unwrapping to
 	// rounds.ErrBudgetExceeded.
@@ -226,10 +230,10 @@ func sparsifyLevel(g *graph.Graph, curp *[]int, level int, scale float64, opts O
 		// fault plan the reliable layer retransmits until the values are
 		// identical to the clean broadcast.
 		if opts.Faults != nil {
-			if _, _, err := cc.ReliableBroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast", opts.Faults); err != nil {
+			if _, _, err := cc.ReliableBroadcastAllVia(opts.Transport, g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast", opts.Faults); err != nil {
 				return levelOutcome{err: err}
 			}
-		} else if _, err := cc.BroadcastAll(g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
+		} else if _, err := cc.BroadcastAllVia(opts.Transport, g.N(), make([]int64, g.N()), opts.Ledger, "sparsify-bcast"); err != nil {
 			return levelOutcome{err: err}
 		}
 	}

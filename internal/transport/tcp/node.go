@@ -1,0 +1,615 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lapcc/internal/transport"
+)
+
+// nodeOptions tunes a worker's delivery loop. The exported RunNode uses the
+// defaults; the in-process mode threads the coordinator's settings (and the
+// test-only drop hook) through.
+type nodeOptions struct {
+	ackTimeout time.Duration
+	maxRetries int
+	dropData   func(round uint64, from, to int32, seq uint32, wave int) bool
+}
+
+func (o *nodeOptions) defaults() {
+	if o.ackTimeout <= 0 {
+		o.ackTimeout = 200 * time.Millisecond
+	}
+	if o.maxRetries <= 0 {
+		o.maxRetries = 8
+	}
+}
+
+// RunNode runs one worker of a multi-process clique: it dials the
+// coordinator, joins the TCP mesh, and serves delivery barriers until the
+// coordinator shuts it down or a connection drops. It is the entire body of
+// cmd/lapccnode.
+func RunNode(coordAddr string, id, procs int) error {
+	return runNode(coordAddr, id, procs, nodeOptions{})
+}
+
+// event is one unit of work for the node's single-threaded main loop: a
+// decoded frame from a connection, a retransmission timer firing, or a read
+// error.
+type event struct {
+	frame   *transport.Frame
+	peer    int32 // sending worker; -1 for the coordinator
+	err     error
+	retrans uint64 // retransmission timer for this round (frame == nil)
+	isTimer bool
+}
+
+// stream is one peer's incoming chunk sequence for one round.
+type stream struct {
+	chunks   map[uint32][]transport.Msg
+	total    uint32 // 0 until the chunk count is known
+	complete bool
+}
+
+// roundState tracks one barrier in flight on a worker.
+type roundState struct {
+	haveRound bool
+	local     []transport.Msg // sends owned by this worker for itself
+
+	in map[int32]*stream // per sending peer
+
+	outFrames map[int32][]*transport.Frame // per receiving peer, for retransmit
+	acked     map[int32]bool
+	wave      int
+	timer     *time.Timer
+
+	stats transport.WireStats
+	done  bool
+}
+
+// writer drains an unbounded frame queue onto one mesh connection. Mesh
+// sends must never block the protocol loop: two workers simultaneously
+// blocked writing large frames to each other, with their loops unable to
+// drain reads, would deadlock. Queueing decouples the loop from socket
+// backpressure; a write error is latched and the connection's reader
+// surfaces it to the loop.
+type writer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]byte
+	closed bool
+}
+
+func newWriter(conn net.Conn) *writer {
+	w := &writer{}
+	w.cond = sync.NewCond(&w.mu)
+	go func() {
+		for {
+			w.mu.Lock()
+			for len(w.q) == 0 && !w.closed {
+				w.cond.Wait()
+			}
+			if w.closed && len(w.q) == 0 {
+				w.mu.Unlock()
+				return
+			}
+			batch := w.q
+			w.q = nil
+			w.mu.Unlock()
+			for _, b := range batch {
+				if _, err := conn.Write(b); err != nil {
+					w.mu.Lock()
+					w.closed = true // drop the rest; the reader reports the error
+					w.q = nil
+					w.mu.Unlock()
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *writer) enqueue(b []byte) {
+	w.mu.Lock()
+	if !w.closed {
+		w.q = append(w.q, b)
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+func (w *writer) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// node is a worker's full connection and round state. All state is owned by
+// the run loop; reader goroutines only feed the event channel.
+type node struct {
+	id    int32
+	procs int
+	opts  nodeOptions
+
+	coord net.Conn
+	peers []net.Conn      // peers[id] == nil
+	prd   []*bufio.Reader // per-peer readers, created at mesh time
+	pw    []*writer       // per-peer async writers
+
+	cwmu   sync.Mutex
+	events chan event
+
+	rounds map[uint64]*roundState
+}
+
+func runNode(coordAddr string, id, procs int, opts nodeOptions) error {
+	opts.defaults()
+	nd := &node{
+		id:     int32(id),
+		procs:  procs,
+		opts:   opts,
+		peers:  make([]net.Conn, procs),
+		prd:    make([]*bufio.Reader, procs),
+		pw:     make([]*writer, procs),
+		events: make(chan event, 4*procs),
+		rounds: make(map[uint64]*roundState),
+	}
+	defer nd.closeAll()
+
+	if err := nd.join(coordAddr); err != nil {
+		// Best effort: tell the coordinator why bootstrap failed before
+		// giving up, so the failure surfaces there rather than as a hang.
+		if nd.coord != nil {
+			nd.sendCoord(&transport.Frame{Type: transport.FrameError, Addr: err.Error()})
+		}
+		return err
+	}
+	return nd.loop()
+}
+
+// join performs the mesh bootstrap: hello to the coordinator, receive the
+// peer table, dial lower-id peers, accept higher-id peers, report ready.
+func (nd *node) join(coordAddr string) error {
+	coord, err := net.DialTimeout("tcp", coordAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("node %d: dialing coordinator: %w", nd.id, err)
+	}
+	nd.coord = coord
+	crd := bufio.NewReader(coord)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("node %d: mesh listen: %w", nd.id, err)
+	}
+	defer ln.Close()
+
+	if _, err := transport.WriteFrame(coord, &transport.Frame{
+		Type: transport.FrameHello, Node: nd.id, Addr: ln.Addr().String(),
+	}); err != nil {
+		return fmt.Errorf("node %d: hello: %w", nd.id, err)
+	}
+	pf, err := transport.ReadFrame(crd)
+	if err != nil {
+		return fmt.Errorf("node %d: reading peer table: %w", nd.id, err)
+	}
+	if pf.Type != transport.FramePeers || len(pf.Addrs) != nd.procs {
+		return fmt.Errorf("node %d: bad peer table (type %d, %d addrs)", nd.id, pf.Type, len(pf.Addrs))
+	}
+
+	// Dial every lower id; accept every higher id. Accepted peers identify
+	// themselves with a mesh hello; dialed ones get ours. Acceptance runs
+	// concurrently with dialing so no ordering deadlocks the mesh.
+	expect := nd.procs - 1 - int(nd.id)
+	type accepted struct {
+		conn net.Conn
+		rd   *bufio.Reader // keeps bytes buffered past the hello
+		id   int32
+		err  error
+	}
+	accCh := make(chan accepted, expect)
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				accCh <- accepted{err: err}
+				return
+			}
+			rd := bufio.NewReader(conn)
+			hf, err := transport.ReadFrame(rd)
+			if err != nil || hf.Type != transport.FrameHello {
+				conn.Close()
+				accCh <- accepted{err: fmt.Errorf("bad mesh hello: %v", err)}
+				return
+			}
+			accCh <- accepted{conn: conn, rd: rd, id: hf.Node}
+		}
+	}()
+	for j := int32(0); j < nd.id; j++ {
+		conn, err := net.DialTimeout("tcp", pf.Addrs[j], 10*time.Second)
+		if err != nil {
+			return fmt.Errorf("node %d: dialing peer %d: %w", nd.id, j, err)
+		}
+		if _, err := transport.WriteFrame(conn, &transport.Frame{Type: transport.FrameHello, Node: nd.id}); err != nil {
+			return fmt.Errorf("node %d: mesh hello to peer %d: %w", nd.id, j, err)
+		}
+		nd.peers[j] = conn
+		nd.prd[j] = bufio.NewReader(conn)
+	}
+	for i := 0; i < expect; i++ {
+		acc := <-accCh
+		if acc.err != nil {
+			return fmt.Errorf("node %d: accepting mesh peer: %w", nd.id, acc.err)
+		}
+		if acc.id <= nd.id || int(acc.id) >= nd.procs || nd.peers[acc.id] != nil {
+			acc.conn.Close()
+			return fmt.Errorf("node %d: duplicate or invalid mesh peer %d", nd.id, acc.id)
+		}
+		nd.peers[acc.id] = acc.conn
+		nd.prd[acc.id] = acc.rd
+	}
+
+	// Mesh complete: spawn one reader and one async writer per peer
+	// connection, then report ready.
+	go nd.read(crd, -1)
+	for j := int32(0); int(j) < nd.procs; j++ {
+		if j == nd.id {
+			continue
+		}
+		nd.pw[j] = newWriter(nd.peers[j])
+		go nd.read(nd.prd[j], j)
+	}
+	if err := nd.sendCoord(&transport.Frame{Type: transport.FrameReady, Node: nd.id}); err != nil {
+		return fmt.Errorf("node %d: ready: %w", nd.id, err)
+	}
+	return nil
+}
+
+// read pumps decoded frames from one connection into the event channel.
+func (nd *node) read(rd *bufio.Reader, peer int32) {
+	for {
+		f, err := transport.ReadFrame(rd)
+		if err != nil {
+			nd.events <- event{peer: peer, err: err}
+			return
+		}
+		nd.events <- event{frame: f, peer: peer}
+		if f.Type == transport.FrameShutdown {
+			return
+		}
+	}
+}
+
+func (nd *node) sendCoord(f *transport.Frame) error {
+	nd.cwmu.Lock()
+	defer nd.cwmu.Unlock()
+	_, err := transport.WriteFrame(nd.coord, f)
+	return err
+}
+
+// sendPeer encodes the frame and queues it on the peer's async writer,
+// returning the wire size. Socket errors surface through the connection's
+// reader, never here.
+func (nd *node) sendPeer(p int32, f *transport.Frame) (int, error) {
+	buf, err := transport.Append(nil, f)
+	if err != nil {
+		return 0, err
+	}
+	nd.pw[p].enqueue(buf)
+	return len(buf), nil
+}
+
+func (nd *node) closeAll() {
+	if nd.coord != nil {
+		nd.coord.Close()
+	}
+	for _, w := range nd.pw {
+		if w != nil {
+			w.close()
+		}
+	}
+	for _, c := range nd.peers {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, rs := range nd.rounds {
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+	}
+}
+
+// inFlight reports whether any delivery barrier is unfinished.
+func (nd *node) inFlight() bool {
+	for _, rs := range nd.rounds {
+		if !rs.done && (rs.haveRound || len(rs.in) > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// loop is the worker's single-threaded protocol engine.
+func (nd *node) loop() error {
+	for ev := range nd.events {
+		switch {
+		case ev.err != nil:
+			// A connection dropping while a barrier is in flight is a real
+			// failure. Between barriers it is the normal shutdown race: the
+			// coordinator's Shutdown frames race the mesh teardown of
+			// workers that processed theirs first.
+			if !nd.inFlight() {
+				return nil
+			}
+			return fmt.Errorf("node %d: connection to %d: %w", nd.id, ev.peer, ev.err)
+		case ev.isTimer:
+			if err := nd.onTimer(ev.retrans); err != nil {
+				nd.sendCoord(&transport.Frame{Type: transport.FrameError, Addr: err.Error()})
+				return err
+			}
+		default:
+			f := ev.frame
+			var err error
+			switch f.Type {
+			case transport.FrameShutdown:
+				return nil
+			case transport.FrameRound:
+				err = nd.onRound(f)
+			case transport.FrameData:
+				err = nd.onData(f)
+			case transport.FrameAck:
+				err = nd.onAck(f)
+			default:
+				err = fmt.Errorf("node %d: unexpected frame type %d from %d", nd.id, f.Type, ev.peer)
+			}
+			if err != nil {
+				nd.sendCoord(&transport.Frame{Type: transport.FrameError, Addr: err.Error()})
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// state returns (creating if needed) the round's state. Data frames may
+// arrive before our own Round frame — peers that received theirs first start
+// sending immediately.
+func (nd *node) state(rc uint64) *roundState {
+	rs := nd.rounds[rc]
+	if rs == nil {
+		rs = &roundState{
+			in:        make(map[int32]*stream),
+			outFrames: make(map[int32][]*transport.Frame),
+			acked:     make(map[int32]bool),
+		}
+		nd.rounds[rc] = rs
+	}
+	return rs
+}
+
+// onRound chunks this worker's owned sends to their destination owners and
+// starts the acknowledgement clock.
+func (nd *node) onRound(f *transport.Frame) error {
+	rs := nd.state(f.Round)
+	if rs.haveRound {
+		return fmt.Errorf("node %d: duplicate round %d", nd.id, f.Round)
+	}
+	rs.haveRound = true
+
+	// Partition by destination owner, preserving order (the coordinator
+	// sends in ascending-source order; per (src,dst) order rides along).
+	perPeer := make(map[int32][]transport.Msg, nd.procs)
+	for _, m := range f.Msgs {
+		p := owner(m.To, nd.procs)
+		if p == nd.id {
+			rs.local = append(rs.local, m)
+			continue
+		}
+		perPeer[p] = append(perPeer[p], m)
+	}
+	for j := int32(0); int(j) < nd.procs; j++ {
+		if j == nd.id {
+			continue
+		}
+		msgs := perPeer[j]
+		// Every peer pair exchanges at least one (possibly empty) chunk per
+		// round, so stream completion doubles as the round barrier even when
+		// nothing is sent.
+		nchunks := (len(msgs) + chunkMsgs - 1) / chunkMsgs
+		if nchunks == 0 {
+			nchunks = 1
+		}
+		frames := make([]*transport.Frame, nchunks)
+		for c := 0; c < nchunks; c++ {
+			lo := c * chunkMsgs
+			hi := lo + chunkMsgs
+			if hi > len(msgs) {
+				hi = len(msgs)
+			}
+			frames[c] = &transport.Frame{
+				Type: transport.FrameData, Round: f.Round, Node: nd.id,
+				Seq: uint32(c), Total: uint32(nchunks), Msgs: msgs[lo:hi],
+			}
+		}
+		rs.outFrames[j] = frames
+		for _, df := range frames {
+			if nd.opts.dropData != nil && nd.opts.dropData(f.Round, nd.id, j, df.Seq, 0) {
+				continue // simulated loss; the retransmission wave recovers it
+			}
+			nb, err := nd.sendPeer(j, df)
+			if err != nil {
+				return fmt.Errorf("node %d: sending data to %d: %w", nd.id, j, err)
+			}
+			rs.stats.Frames++
+			rs.stats.FrameBytes += uint64(nb)
+		}
+	}
+	if len(rs.outFrames) > 0 {
+		nd.armTimer(f.Round, rs, nd.opts.ackTimeout)
+	}
+	return nd.maybeFinish(f.Round, rs)
+}
+
+// chunkMsgs mirrors the Mem backend's chunk size; both keep frames far below
+// MaxFrameBytes at any legal width.
+const chunkMsgs = 1024
+
+func (nd *node) armTimer(rc uint64, rs *roundState, d time.Duration) {
+	if rs.timer != nil {
+		rs.timer.Stop()
+	}
+	rs.timer = time.AfterFunc(d, func() {
+		nd.events <- event{isTimer: true, retrans: rc}
+	})
+}
+
+// onTimer retransmits every unacknowledged stream of the round, with
+// exponential backoff between waves.
+func (nd *node) onTimer(rc uint64) error {
+	rs := nd.rounds[rc]
+	if rs == nil || rs.done {
+		return nil
+	}
+	pending := false
+	for j := range rs.outFrames {
+		if !rs.acked[j] {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return nil
+	}
+	rs.wave++
+	if rs.wave > nd.opts.maxRetries {
+		return fmt.Errorf("node %d: round %d undelivered after %d retransmission waves", nd.id, rc, nd.opts.maxRetries)
+	}
+	for j, frames := range rs.outFrames {
+		if rs.acked[j] {
+			continue
+		}
+		for _, df := range frames {
+			if nd.opts.dropData != nil && nd.opts.dropData(rc, nd.id, j, df.Seq, rs.wave) {
+				continue
+			}
+			nb, err := nd.sendPeer(j, df)
+			if err != nil {
+				return fmt.Errorf("node %d: retransmit to %d: %w", nd.id, j, err)
+			}
+			rs.stats.Frames++
+			rs.stats.FrameBytes += uint64(nb)
+			rs.stats.Retransmits++
+		}
+	}
+	nd.armTimer(rc, rs, nd.opts.ackTimeout<<uint(rs.wave))
+	return nil
+}
+
+// onData stores a peer's chunk (idempotently — retransmitted duplicates are
+// dropped) and acknowledges the stream whenever it is complete, so a lost
+// ack is repaired by the duplicate data that follows it.
+func (nd *node) onData(f *transport.Frame) error {
+	rs := nd.state(f.Round)
+	if rs.done {
+		// Stale retransmission of an already-assembled round: re-ack so the
+		// sender stops, but the shard is sealed.
+		nd.sendPeer(f.Node, &transport.Frame{
+			Type: transport.FrameAck, Round: f.Round, Node: nd.id, Seq: f.Total,
+		})
+		return nil
+	}
+	st := rs.in[f.Node]
+	if st == nil {
+		st = &stream{chunks: make(map[uint32][]transport.Msg)}
+		rs.in[f.Node] = st
+	}
+	if f.Total == 0 || f.Seq >= f.Total {
+		return fmt.Errorf("node %d: bad chunk %d/%d from %d", nd.id, f.Seq, f.Total, f.Node)
+	}
+	st.total = f.Total
+	if _, dup := st.chunks[f.Seq]; !dup {
+		st.chunks[f.Seq] = f.Msgs
+	}
+	if uint32(len(st.chunks)) == st.total {
+		st.complete = true
+		if _, err := nd.sendPeer(f.Node, &transport.Frame{
+			Type: transport.FrameAck, Round: f.Round, Node: nd.id, Seq: st.total,
+		}); err != nil {
+			return fmt.Errorf("node %d: ack to %d: %w", nd.id, f.Node, err)
+		}
+		rs.stats.Acks++
+	}
+	return nd.maybeFinish(f.Round, rs)
+}
+
+// onAck marks a receiving peer's stream as delivered once it has everything.
+func (nd *node) onAck(f *transport.Frame) error {
+	rs := nd.state(f.Round)
+	frames, ok := rs.outFrames[f.Node]
+	if ok && f.Seq >= uint32(len(frames)) {
+		rs.acked[f.Node] = true
+	}
+	return nd.maybeFinish(f.Round, rs)
+}
+
+// maybeFinish assembles and sends the worker's inbox shard once the barrier
+// condition holds: the round's sends are placed, every incoming stream is
+// complete, and every outgoing stream is acknowledged.
+func (nd *node) maybeFinish(rc uint64, rs *roundState) error {
+	if rs.done || !rs.haveRound {
+		return nil
+	}
+	for j := int32(0); int(j) < nd.procs; j++ {
+		if j == nd.id {
+			continue
+		}
+		st := rs.in[j]
+		if st == nil || !st.complete {
+			return nil
+		}
+	}
+	for j := range rs.outFrames {
+		if !rs.acked[j] {
+			return nil
+		}
+	}
+	rs.done = true
+	if rs.timer != nil {
+		rs.timer.Stop()
+	}
+
+	// Shard order: sending workers ascending, chunks in sequence. The
+	// coordinator's stable per-destination sort on top of this reproduces
+	// the canonical merge order.
+	var shard []transport.Msg
+	for j := int32(0); int(j) < nd.procs; j++ {
+		if j == nd.id {
+			shard = append(shard, rs.local...)
+			continue
+		}
+		st := rs.in[j]
+		for c := uint32(0); c < st.total; c++ {
+			shard = append(shard, st.chunks[c]...)
+		}
+	}
+	if err := nd.sendCoord(&transport.Frame{
+		Type: transport.FrameInbox, Round: rc, Node: nd.id, Msgs: shard, Stats: rs.stats,
+	}); err != nil {
+		return fmt.Errorf("node %d: inbox for round %d: %w", nd.id, rc, err)
+	}
+	// Keep a tombstone so stale retransmissions still get acked, but drop
+	// the payloads; reap tombstones two rounds back (the coordinator's
+	// barrier guarantees no traffic that old is still in flight).
+	rs.in = nil
+	rs.local = nil
+	rs.outFrames = nil
+	if rc >= 2 {
+		delete(nd.rounds, rc-2)
+	}
+	return nil
+}

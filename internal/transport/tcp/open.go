@@ -1,0 +1,59 @@
+package tcp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/transport"
+)
+
+// Open resolves a -transport flag value into a delivery backend:
+//
+//	local                     in-process merge (returns nil: the engine default)
+//	mem                       wire-codec round trip in process
+//	tcp[,procs=N][,bin=PATH]  multi-process loopback clique; bin execs that
+//	                          lapccnode binary per worker, otherwise workers
+//	                          run as in-process goroutines over real sockets
+//
+// The returned Transport is nil for "local" (callers pass it straight to
+// Options; the engine treats nil as the built-in path). Callers own Close.
+func Open(spec string) (cc.Transport, error) {
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "local":
+		if len(parts) > 1 {
+			return nil, fmt.Errorf("transport: %q takes no options", parts[0])
+		}
+		return nil, nil
+	case "mem":
+		if len(parts) > 1 {
+			return nil, fmt.Errorf("transport: mem takes no options")
+		}
+		return transport.NewMem(), nil
+	case "tcp":
+		var opts Options
+		for _, kv := range parts[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("transport: malformed option %q (want key=value)", kv)
+			}
+			switch k {
+			case "procs":
+				p, err := strconv.Atoi(v)
+				if err != nil || p <= 0 {
+					return nil, fmt.Errorf("transport: bad procs %q", v)
+				}
+				opts.Procs = p
+			case "bin":
+				opts.Binary = v
+			default:
+				return nil, fmt.Errorf("transport: unknown option %q", k)
+			}
+		}
+		return New(opts)
+	default:
+		return nil, fmt.Errorf("transport: unknown backend %q (want local, mem, or tcp)", parts[0])
+	}
+}

@@ -1,0 +1,350 @@
+// Package tcp is the multi-process delivery backend of the engine's
+// transport boundary: the clique's nodes run as separate OS processes
+// (cmd/lapccnode) connected by a full TCP mesh, and the engine side acts as
+// the round coordinator. Every frame is length-prefixed and checksummed
+// (internal/transport's codec), chunk streams between peers are sequenced
+// and acknowledged, and unacknowledged chunks are retransmitted with
+// exponential backoff — the reliable-delivery protocol the in-process
+// simulator models analytically, promoted to the actual correctness layer of
+// the delivery loop.
+//
+// The delivery contract matches every other backend bit for bit: inboxes per
+// destination in ascending source order, per-source send order preserved.
+// The differential suites pin solver outputs and charged ledgers across
+// local, Mem, and TCP runs.
+//
+// Topology: P worker processes serve any logical node count n; logical node
+// v is owned by process v mod P. One Deliver is one barrier:
+//
+//	coordinator --Round--> every process   (its owned sources' sends)
+//	process     --Data---> peer processes  (chunked, sequenced, acked,
+//	                                        retransmitted on timeout)
+//	process     --Inbox--> coordinator     (its shard, wire stats piggybacked)
+//
+// The coordinator concatenates shards in process order and stable-sorts each
+// destination's messages by source, which reproduces the in-process merge
+// order exactly.
+package tcp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/transport"
+)
+
+// Options configures the coordinator.
+type Options struct {
+	// Procs is the number of worker processes (default 4). Logical node v
+	// is owned by process v mod Procs.
+	Procs int
+	// Binary is the lapccnode worker binary to exec, one process per
+	// worker. Empty runs the workers as in-process goroutines speaking the
+	// same protocol over real loopback sockets — same frames, same barrier,
+	// no process isolation (used by tests and the benchmark suite).
+	Binary string
+	// AckTimeout is the base retransmission timeout (default 200ms,
+	// doubled per wave).
+	AckTimeout time.Duration
+	// MaxRetries bounds the retransmission waves per stream (default 8).
+	MaxRetries int
+	// Stderr receives the worker processes' stderr (default os.Stderr).
+	Stderr io.Writer
+
+	// dropData, test-only (in-process workers): return true to suppress a
+	// data frame send, forcing the retransmission path.
+	dropData func(round uint64, from, to int32, seq uint32, wave int) bool
+}
+
+func (o *Options) defaults() {
+	if o.Procs <= 0 {
+		o.Procs = 4
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 200 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.Stderr == nil {
+		o.Stderr = os.Stderr
+	}
+}
+
+// owner maps a logical clique node to its worker process.
+func owner(v int32, procs int) int32 { return v % int32(procs) }
+
+// Transport is the coordinator side of the multi-process backend. It
+// implements cc.Transport; Deliver calls serialize on an internal lock (one
+// barrier at a time, matching the synchronous model).
+type Transport struct {
+	opts  Options
+	procs int
+
+	ln    net.Listener
+	conns []net.Conn
+	rds   []*bufio.Reader
+	cmds  []*exec.Cmd
+	wg    sync.WaitGroup // in-process workers
+
+	mu     sync.Mutex
+	round  uint64
+	closed bool
+	cum    cc.DeliveryStats // cumulative across rounds
+}
+
+// New boots a coordinator and its worker processes and blocks until the full
+// mesh is connected and every worker reported Ready.
+func New(opts Options) (*Transport, error) {
+	opts.defaults()
+	t := &Transport{opts: opts, procs: opts.Procs}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: coordinator listen: %w", err)
+	}
+	t.ln = ln
+	coordAddr := ln.Addr().String()
+
+	if opts.Binary != "" {
+		t.cmds = make([]*exec.Cmd, t.procs)
+		for i := 0; i < t.procs; i++ {
+			cmd := exec.Command(opts.Binary,
+				"-coord", coordAddr, "-id", strconv.Itoa(i), "-procs", strconv.Itoa(t.procs))
+			cmd.Stderr = opts.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Close()
+				return nil, fmt.Errorf("tcp: starting worker %d: %w", i, err)
+			}
+			t.cmds[i] = cmd
+		}
+	} else {
+		no := nodeOptions{
+			ackTimeout: opts.AckTimeout,
+			maxRetries: opts.MaxRetries,
+			dropData:   opts.dropData,
+		}
+		for i := 0; i < t.procs; i++ {
+			t.wg.Add(1)
+			go func(id int) {
+				defer t.wg.Done()
+				if err := runNode(coordAddr, id, t.procs, no); err != nil {
+					fmt.Fprintf(opts.Stderr, "tcp: in-process worker %d: %v\n", id, err)
+				}
+			}(i)
+		}
+	}
+
+	if err := t.bootstrap(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// bootstrap accepts the worker connections, distributes the mesh address
+// table, and waits for every worker's Ready.
+func (t *Transport) bootstrap() error {
+	t.conns = make([]net.Conn, t.procs)
+	t.rds = make([]*bufio.Reader, t.procs)
+	addrs := make([]string, t.procs)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < t.procs; i++ {
+		if l, ok := t.ln.(*net.TCPListener); ok {
+			l.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: accepting worker %d/%d: %w", i, t.procs, err)
+		}
+		rd := bufio.NewReader(conn)
+		f, err := transport.ReadFrame(rd)
+		if err != nil {
+			return fmt.Errorf("tcp: worker hello: %w", err)
+		}
+		if f.Type != transport.FrameHello || f.Node < 0 || int(f.Node) >= t.procs || t.conns[f.Node] != nil {
+			return fmt.Errorf("tcp: bad hello (type %d, node %d)", f.Type, f.Node)
+		}
+		t.conns[f.Node] = conn
+		t.rds[f.Node] = rd
+		addrs[f.Node] = f.Addr
+	}
+	for i, conn := range t.conns {
+		if _, err := transport.WriteFrame(conn, &transport.Frame{Type: transport.FramePeers, Addrs: addrs}); err != nil {
+			return fmt.Errorf("tcp: sending peer table to worker %d: %w", i, err)
+		}
+	}
+	for i := range t.conns {
+		f, err := transport.ReadFrame(t.rds[i])
+		if err != nil {
+			return fmt.Errorf("tcp: waiting for worker %d ready: %w", i, err)
+		}
+		if f.Type == transport.FrameError {
+			return fmt.Errorf("tcp: worker %d failed during mesh bootstrap: %s", i, f.Addr)
+		}
+		if f.Type != transport.FrameReady {
+			return fmt.Errorf("tcp: worker %d sent frame type %d instead of ready", i, f.Type)
+		}
+	}
+	return nil
+}
+
+// Deliver implements cc.Transport: one synchronous barrier across the worker
+// processes. The round argument is informational (engine rounds restart per
+// Run); the coordinator sequences barriers with its own monotone counter.
+func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.DeliveryStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, cc.DeliveryStats{}, errors.New("tcp: transport is closed")
+	}
+	rc := t.round
+	t.round++
+
+	// Split the round's sends by owning process, preserving the global
+	// ascending-source order within each process's list.
+	perProc := make([][]transport.Msg, t.procs)
+	dc := make([]int, n)
+	total := 0
+	for _, ob := range out {
+		for _, om := range ob.Msgs {
+			if om.To < 0 || int(om.To) >= n {
+				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: recipient %d out of range (n=%d)", om.To, n)
+			}
+			p := owner(om.From, t.procs)
+			perProc[p] = append(perProc[p], transport.Msg{From: om.From, To: om.To, Data: ob.Data(om)})
+			dc[om.To]++
+			total++
+		}
+	}
+	for p := 0; p < t.procs; p++ {
+		if _, err := transport.WriteFrame(t.conns[p], &transport.Frame{
+			Type: transport.FrameRound, Round: rc, Msgs: perProc[p],
+		}); err != nil {
+			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: sending round %d to worker %d: %w", rc, p, err)
+		}
+	}
+
+	// Collect every worker's inbox shard. Shards arrive in any order across
+	// connections but reading sequentially is fine: TCP buffers them.
+	shards := make([][]transport.Msg, t.procs)
+	stats := cc.DeliveryStats{Messages: int64(total)}
+	for p := 0; p < t.procs; p++ {
+		f, err := transport.ReadFrame(t.rds[p])
+		if err != nil {
+			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: reading inbox of worker %d in round %d: %w", p, rc, err)
+		}
+		if f.Type == transport.FrameError {
+			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d failed in round %d: %s", p, rc, f.Addr)
+		}
+		if f.Type != transport.FrameInbox || f.Round != rc {
+			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of inbox for round %d", p, f.Type, f.Round, rc)
+		}
+		shards[p] = f.Msgs
+		stats.Frames += int64(f.Stats.Frames)
+		stats.FrameBytes += int64(f.Stats.FrameBytes)
+		stats.Retransmits += int64(f.Stats.Retransmits)
+		stats.Acks += int64(f.Stats.Acks)
+	}
+
+	// Assemble: process order first, then a stable per-destination sort by
+	// source. Messages sharing (source, destination) travel in one chunk
+	// stream, so stability preserves their send order — together this
+	// reproduces the in-process merge order exactly.
+	inboxes := make([][]cc.Message, n)
+	for d := 0; d < n; d++ {
+		if dc[d] > 0 {
+			inboxes[d] = make([]cc.Message, 0, dc[d])
+		}
+	}
+	got := 0
+	for p := 0; p < t.procs; p++ {
+		for _, wm := range shards[p] {
+			if wm.To < 0 || int(wm.To) >= n {
+				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d delivered recipient %d out of range", p, wm.To)
+			}
+			inboxes[wm.To] = append(inboxes[wm.To], cc.Message{From: int(wm.From), Data: wm.Data})
+			got++
+		}
+	}
+	if got != total {
+		return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: round %d delivered %d of %d messages", rc, got, total)
+	}
+	for d := 0; d < n; d++ {
+		msgs := inboxes[d]
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	}
+	t.cum.Messages += stats.Messages
+	t.cum.Frames += stats.Frames
+	t.cum.FrameBytes += stats.FrameBytes
+	t.cum.Retransmits += stats.Retransmits
+	t.cum.Acks += stats.Acks
+	return inboxes, stats, nil
+}
+
+// Stats returns the cumulative delivery counters across all rounds.
+func (t *Transport) Stats() cc.DeliveryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cum
+}
+
+// Close shuts the workers down and releases every connection. Safe to call
+// more than once and on a partially constructed transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+
+	for _, conn := range t.conns {
+		if conn != nil {
+			transport.WriteFrame(conn, &transport.Frame{Type: transport.FrameShutdown})
+		}
+	}
+	var firstErr error
+	for i, cmd := range t.cmds {
+		if cmd == nil {
+			continue
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("tcp: worker %d exit: %w", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tcp: worker %d did not exit; killed", i)
+			}
+		}
+	}
+	for _, conn := range t.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.wg.Wait() // in-process workers exit on conn close/shutdown
+	return firstErr
+}
+
+// Procs returns the worker process count.
+func (t *Transport) Procs() int { return t.procs }
