@@ -26,7 +26,7 @@ define run-bench
 $(GO) test -run xxx -bench '$(1)' -benchmem -benchtime $(BENCHTIME) $(2)
 endef
 
-.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults serve-smoke net-smoke bench-net
+.PHONY: all build fmt-check vet test race bench-smoke bench-engine bench-baseline bench-solver bench-scaling bench-gate check experiments trace-smoke stress bench-faults serve-smoke net-smoke bench-net chaos-smoke bench-chaos
 
 all: build
 
@@ -140,4 +140,31 @@ net-smoke:
 bench-net:
 	$(GO) run ./cmd/benchgate -suites net
 
-check: fmt-check vet build race bench-smoke trace-smoke serve-smoke net-smoke
+# Crash-recovery smoke + gate: solve the same max-flow instance (with an
+# injected fault plan) through the in-process merge and through a
+# *supervised* 4-process TCP clique whose chaos plan SIGKILLs worker 1
+# before barrier 2 and worker 3 before barrier 5, resets 90% of epoch-0
+# mesh writes (the first mesh incarnation always collapses), and fragments
+# 10% of later writes. The supervisor respawns the workers, replays the
+# failed barriers from the round checkpoint, and the report — flow value,
+# IPM iterations, the full charged-round breakdown — must come out
+# byte-identical to the undisturbed local run. Recovery bookkeeping prints
+# on 'transport:' lines, which the diff filters.
+chaos-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/lapccnode ./cmd/lapccnode; \
+	$(GO) build -o $$tmp/flowcc ./cmd/flowcc; \
+	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 >$$tmp/local.out; \
+	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 \
+		-transport tcp,procs=4,bin=$$tmp/lapccnode \
+		-chaos 'seed=7,reset=0.9,partial=0.1,kill=2:1,kill=5:3' 2>/dev/null \
+		| grep -v '^transport:' >$$tmp/chaos.out; \
+	diff -u $$tmp/local.out $$tmp/chaos.out; \
+	echo "chaos-smoke: OK (output under kills+resets byte-identical to local)"
+
+# Re-measure the kill-recovery overhead figures behind BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/benchgate -suites chaos
+
+check: fmt-check vet build race bench-smoke trace-smoke serve-smoke net-smoke chaos-smoke

@@ -43,6 +43,8 @@ func run() error {
 		poolSize = flag.Int("pool", 8, "pooled sessions per op kind (LRU-evicted beyond this)")
 		inflight = flag.Int("max-inflight", 0, "admitted concurrent requests; excess sheds with 429 (0 = 2*GOMAXPROCS)")
 		workers  = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS); results are bit-identical at any setting")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown window: on SIGTERM/SIGINT stop accepting and wait this long for in-flight requests")
+		flushTo  = flag.String("metrics-flush", "", "write a final metrics JSON snapshot to this path on shutdown (\"-\" = stderr; empty disables)")
 	)
 	flag.Parse()
 
@@ -79,15 +81,54 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		fmt.Printf("lapccd: %s, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop accepting, let every in-flight request
+		// complete within the window (zero 5xx under a clean SIGTERM),
+		// then flush the final metrics snapshot. A second signal aborts
+		// the drain immediately.
+		fmt.Printf("lapccd: %s, draining (up to %s)\n", sig, *drain)
+		go func() {
+			s := <-stop
+			fmt.Fprintf(os.Stderr, "lapccd: second %s during drain, aborting\n", s)
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		err := hs.Shutdown(ctx)
+		if ferr := flushMetrics(reg, *flushTo); ferr != nil && err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Printf("lapccd: drained cleanly (%d requests served, %d shed)\n",
+			srv.Stats().Requests, srv.Stats().Shed)
+		return nil
 	}
+}
+
+// flushMetrics writes the registry's final JSON snapshot to the configured
+// sink ("" disables, "-" is stderr) so a drained daemon leaves its counters
+// behind for the operator.
+func flushMetrics(reg *metrics.Registry, dst string) error {
+	if dst == "" {
+		return nil
+	}
+	if dst == "-" {
+		return reg.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("metrics flush: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics flush: %w", err)
+	}
+	return f.Close()
 }

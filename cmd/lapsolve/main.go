@@ -27,6 +27,7 @@ import (
 	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/trace"
+	"lapcc/internal/transport"
 	"lapcc/internal/transport/tcp"
 )
 
@@ -39,21 +40,22 @@ func main() {
 
 func run() error {
 	var (
-		path      = flag.String("graph", "", "edge-list file (u v w per line)")
-		gen       = flag.String("gen", "regular", "generator when no file given: regular|grid|complete")
-		n         = flag.Int("n", 128, "generator size")
-		eps       = flag.Float64("eps", 1e-8, "target relative error in the L_G norm")
-		source    = flag.Int("source", 0, "pole with +1 charge")
-		sink      = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
-		trOut     = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
-		trEv      = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
-		nRHS      = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
-		faults    = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
-		budget    = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
-		debugHold = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
-		workers   = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
-		transport = flag.String("transport", "local", "delivery backend: 'local', 'mem' (in-process wire codec), or 'tcp[,procs=N][,bin=PATH]' (multi-process loopback clique); results are bit-identical across backends")
+		path          = flag.String("graph", "", "edge-list file (u v w per line)")
+		gen           = flag.String("gen", "regular", "generator when no file given: regular|grid|complete")
+		n             = flag.Int("n", 128, "generator size")
+		eps           = flag.Float64("eps", 1e-8, "target relative error in the L_G norm")
+		source        = flag.Int("source", 0, "pole with +1 charge")
+		sink          = flag.Int("sink", -1, "pole with -1 charge (default n-1)")
+		trOut         = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		trEv          = flag.String("trace-events", "", "write the deterministic JSONL span/cost event stream")
+		nRHS          = flag.Int("rhs", 1, "number of right-hand sides; >1 solves pole pairs (source, source+i) through one session")
+		faults        = flag.String("faults", "", "deterministic fault plan, e.g. 'seed=1,drop=0.01' or bare drop rate '0.01' (see cc.ParseFaultPlan)")
+		budget        = flag.String("budget", "", "abort when exhausted: 'rounds=N,wall=DUR' or bare round count 'N'")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		debugHold     = flag.Duration("debug-hold", 0, "keep the -debug-addr server up this long after the run (for scraping short runs)")
+		workers       = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
+		transportSpec = flag.String("transport", "local", "delivery backend: 'local', 'mem' (in-process wire codec), or 'tcp[,procs=N][,bin=PATH][,supervise=1]' (multi-process loopback clique); results are bit-identical across backends")
+		chaosSpec     = flag.String("chaos", "", "socket-level chaos plan for the tcp backend, e.g. 'seed=7,reset=0.002,partial=0.05,kill=3:1' (see transport.ParseChaosPlan); implies supervision, results stay bit-identical")
 	)
 	flag.Parse()
 
@@ -82,16 +84,34 @@ func run() error {
 		}
 		ro.Budget = b
 	}
-	if *transport != "" && *transport != "local" {
-		bt, err := tcp.Open(*transport)
+	if *transportSpec != "" && *transportSpec != "local" {
+		var chaos *transport.ChaosPlan
+		if *chaosSpec != "" {
+			var err error
+			if chaos, err = transport.ParseChaosPlan(*chaosSpec); err != nil {
+				return err
+			}
+		}
+		bt, err := tcp.OpenWith(*transportSpec, chaos)
 		if err != nil {
 			return err
 		}
 		if bt != nil {
 			defer bt.Close()
 			ro.Transport = bt
-			fmt.Printf("transport: %s\n", *transport)
+			fmt.Printf("transport: %s\n", *transportSpec)
+			if tt, ok := bt.(*tcp.Transport); ok && chaos != nil {
+				fmt.Printf("transport: chaos %s\n", chaos)
+				// Runs after the report: the smoke gates filter '^transport:'.
+				defer func() {
+					rec := tt.Recovery()
+					fmt.Printf("transport: recovery kills=%d restarts=%d respawns=%d replayed-barriers=%d heartbeat-failures=%d epoch=%d\n",
+						rec.Kills, rec.Restarts, rec.Respawns, rec.ReplayedBarriers, rec.HeartbeatFailures, tt.Epoch())
+				}()
+			}
 		}
+	} else if *chaosSpec != "" {
+		return fmt.Errorf("-chaos requires a tcp -transport")
 	}
 
 	var g *graph.Graph

@@ -48,6 +48,7 @@ func run() error {
 		gate        = flag.Bool("gate", false, "diff fresh figures against -baseline and exit non-zero on regression")
 		baseline    = flag.String("baseline", "BENCH_serve.json", "baseline file for -gate (seeded from this run when missing)")
 		budgetR     = flag.Int64("budget-rounds", 0, "per-request round budget (0 = unlimited)")
+		connRetries = flag.Int("conn-retries", 8, "per-request transport-error retries with exponential backoff (rides through a daemon restart; 0 disables)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func run() error {
 		Topologies:  *topologies,
 		N:           *n,
 		Seed:        *seed,
+		ConnRetries: *connRetries,
 	}
 	if *budgetR > 0 {
 		opts.Budget = &serve.WireBudget{Rounds: *budgetR}
@@ -70,8 +72,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("loadgen: %d requests, %d errors, %d shed-retries, %.1f req/s (%.2fms/req) over %s\n",
-		res.Requests, res.Errors, res.Retries, 1e9/res.NsPerRequest, res.NsPerRequest/1e6, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %d requests, %d errors, %d shed-retries, %d conn-retries, %.1f req/s (%.2fms/req) over %s\n",
+		res.Requests, res.Errors, res.Retries, res.ConnRetries, 1e9/res.NsPerRequest, res.NsPerRequest/1e6, res.Elapsed.Round(time.Millisecond))
 	ops := make([]string, 0, len(res.PerOp))
 	for op := range res.PerOp {
 		ops = append(ops, op)

@@ -82,6 +82,12 @@ var Suites = []Suite{
 		Tol:          &NetTolerance,
 		Bootstrap:    true,
 	},
+	{
+		Name:      "chaos",
+		Baseline:  "BENCH_chaos.json",
+		Measure:   MeasureChaosWorkloads,
+		Bootstrap: true,
+	},
 }
 
 // SuiteByName returns the registered suite with the given name.

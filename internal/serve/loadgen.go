@@ -42,6 +42,14 @@ type LoadOptions struct {
 	Seed int64
 	// Budget, if non-nil, rides on every request.
 	Budget *WireBudget
+	// ConnRetries bounds per-request retries of transport-level failures
+	// (connection refused or reset — typically the daemon restarting
+	// underneath the generator). Each retry backs off exponentially from
+	// 10ms with deterministic jitter keyed on the request index, so
+	// concurrent workers do not reconnect in lockstep yet replays stay
+	// reproducible. 0 disables: a transport error immediately fails the
+	// request.
+	ConnRetries int
 }
 
 func (o *LoadOptions) defaults() {
@@ -85,8 +93,11 @@ type LoadResult struct {
 	// Retries counts 429 "overloaded" responses absorbed by backoff — the
 	// admission gate working as intended, not failures. Retried time counts
 	// toward the request's latency (the client-observed figure).
-	Retries int           `json:"retries"`
-	Elapsed time.Duration `json:"elapsed_ns"`
+	Retries int `json:"retries"`
+	// ConnRetries counts transport-level failures absorbed by the
+	// LoadOptions.ConnRetries backoff before the request went through.
+	ConnRetries int           `json:"conn_retries"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
 	// NsPerRequest is the inverse throughput of the whole run: wall time
 	// divided by completed requests — the figure BENCH_serve.json gates.
 	NsPerRequest float64 `json:"ns_per_request"`
@@ -185,12 +196,13 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	}
 
 	var (
-		next      atomic.Int64
-		mu        sync.Mutex
-		latencies = map[string][]time.Duration{}
-		errCounts = map[string]int{}
-		retries   int
-		wg        sync.WaitGroup
+		next        atomic.Int64
+		mu          sync.Mutex
+		latencies   = map[string][]time.Duration{}
+		errCounts   = map[string]int{}
+		retries     int
+		connRetries int
+		wg          sync.WaitGroup
 	)
 	t0 := time.Now()
 	for w := 0; w < opts.Concurrency; w++ {
@@ -204,11 +216,12 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 				}
 				it := items[i]
 				start := time.Now()
-				ok, shed := post(opts.Client, opts.BaseURL+"/v1/"+it.op, it.body)
+				ok, shed, conn := post(opts.Client, opts.BaseURL+"/v1/"+it.op, it.body, opts.ConnRetries, i)
 				lat := time.Since(start)
 				mu.Lock()
 				latencies[it.op] = append(latencies[it.op], lat)
 				retries += shed
+				connRetries += conn
 				if !ok {
 					errCounts[it.op]++
 				}
@@ -219,7 +232,7 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	res := &LoadResult{PerOp: map[string]OpStats{}, Requests: len(items), Retries: retries, Elapsed: elapsed}
+	res := &LoadResult{PerOp: map[string]OpStats{}, Requests: len(items), Retries: retries, ConnRetries: connRetries, Elapsed: elapsed}
 	for op, lats := range latencies {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		var sum time.Duration
@@ -244,17 +257,25 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 // post sends one request, absorbing 429 "overloaded" responses with
 // bounded backoff: load shedding is the admission gate's contract, and a
 // replay client's job is to wait for a slot, not to count it as a failure.
-// Budget-exceeded 429s (and everything else non-200) are real errors.
-func post(client *http.Client, url string, body []byte) (ok bool, retries int) {
+// Transport-level errors (connection refused or reset — the daemon
+// restarting) are likewise absorbed up to connRetries times with
+// exponential backoff. Budget-exceeded 429s (and everything else non-200)
+// are real errors.
+func post(client *http.Client, url string, body []byte, connRetries, req int) (ok bool, retries, conn int) {
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return false, retries
+			if conn >= connRetries {
+				return false, retries, conn
+			}
+			conn++
+			time.Sleep(connBackoff(req, conn))
+			continue
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
-			return true, retries
+			return true, retries, conn
 		}
 		if resp.StatusCode == http.StatusTooManyRequests &&
 			bytes.Contains(data, []byte(`"overloaded"`)) && attempt < 200 {
@@ -262,8 +283,26 @@ func post(client *http.Client, url string, body []byte) (ok bool, retries int) {
 			time.Sleep(time.Duration(1+attempt%10) * time.Millisecond)
 			continue
 		}
-		return false, retries
+		return false, retries, conn
 	}
+}
+
+// connBackoff is the sleep before transport-error retry attempt (1-based)
+// of request req: exponential from 10ms, capped at 640ms, plus a
+// deterministic sub-50% jitter keyed on (req, attempt). Deterministic
+// jitter keeps replayed runs byte-comparable while still de-synchronizing
+// the reconnect stampede of concurrent workers.
+func connBackoff(req, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := 10 * time.Millisecond << uint(shift)
+	h := uint64(req)*0x9e3779b97f4a7c15 + uint64(attempt)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return base + time.Duration(h%uint64(base/2))
 }
 
 // quantile returns the q-th latency of a sorted sample (nearest-rank).

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestConnBackoffDeterministic pins the transport-retry backoff: replayable
+// (pure function of request index and attempt), exponential with a cap, and
+// jittered below 50% of the base.
+func TestConnBackoffDeterministic(t *testing.T) {
+	for req := 0; req < 4; req++ {
+		for attempt := 1; attempt <= 9; attempt++ {
+			d := connBackoff(req, attempt)
+			if d != connBackoff(req, attempt) {
+				t.Fatalf("connBackoff(%d,%d) is not deterministic", req, attempt)
+			}
+			shift := attempt - 1
+			if shift > 6 {
+				shift = 6
+			}
+			base := 10 * time.Millisecond << uint(shift)
+			if d < base || d >= base+base/2 {
+				t.Fatalf("connBackoff(%d,%d) = %v outside [%v, %v)", req, attempt, d, base, base+base/2)
+			}
+		}
+	}
+	if a, b := connBackoff(0, 1), connBackoff(1, 1); a == b {
+		t.Fatalf("jitter does not separate concurrent requests: %v == %v", a, b)
+	}
+}
+
+// TestLoadConnRetry boots the load generator against a port with no
+// listener, then brings the daemon up behind its back: with ConnRetries the
+// refused connections are absorbed by backoff and the run finishes with
+// zero errors — the ride-through a restarting lapccd needs.
+func TestLoadConnRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port: the first wave of requests must be refused
+
+	type outcome struct {
+		res *LoadResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := RunLoad(LoadOptions{
+			BaseURL:     "http://" + addr,
+			Requests:    6,
+			Concurrency: 2,
+			N:           16,
+			Mix:         map[string]int{"solve": 1},
+			ConnRetries: 12,
+		})
+		done <- outcome{res, err}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	s := New(Options{})
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.res.Errors != 0 {
+		t.Fatalf("%d/%d requests failed despite conn retries: %+v", o.res.Errors, o.res.Requests, o.res.PerOp)
+	}
+	if o.res.ConnRetries == 0 {
+		t.Fatal("the daemon came up late but no transport retries were recorded")
+	}
+}

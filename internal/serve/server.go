@@ -52,11 +52,16 @@ type Server struct {
 	shed       atomic.Int64
 	poolHits   atomic.Int64
 	poolMisses atomic.Int64
+	panics     atomic.Int64
 
 	// hold, when non-nil, blocks every admitted request until the channel
 	// is closed. Test hook for deterministically filling the inflight
 	// slots; never set in production.
 	hold chan struct{}
+	// failpoint, when non-nil, runs after admission with the request's op.
+	// Test hook for driving the panic-recovery path; never set in
+	// production.
+	failpoint func(op string)
 }
 
 // New returns a Server with the given options.
@@ -84,6 +89,7 @@ type Stats struct {
 	Shed           int64 `json:"shed"`
 	PoolHits       int64 `json:"pool_hits"`
 	PoolMisses     int64 `json:"pool_misses"`
+	Panics         int64 `json:"panics"`
 	SolveSessions  int   `json:"solve_sessions"`
 	SparsifyChains int   `json:"sparsify_chains"`
 	MaxInflight    int   `json:"max_inflight"`
@@ -96,6 +102,7 @@ func (s *Server) Stats() Stats {
 		Shed:           s.shed.Load(),
 		PoolHits:       s.poolHits.Load(),
 		PoolMisses:     s.poolMisses.Load(),
+		Panics:         s.panics.Load(),
 		SolveSessions:  s.solve.size(),
 		SparsifyChains: s.sparse.size(),
 		MaxInflight:    s.opts.MaxInflight,
@@ -164,8 +171,25 @@ func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
 		s.requests.Add(1)
 		reqs.Inc()
 		t0 := time.Now()
+		// Per-request panic recovery: a handler bug must cost one 500 in
+		// the error envelope, not the daemon. http.ErrAbortHandler keeps
+		// its net/http meaning (abort the connection, no response).
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.panics.Add(1)
+				s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "panic").Inc()
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("%s: recovered panic: %v", op, rec), 0)
+			}
+			lat.ObserveDuration(time.Since(t0))
+		}()
+		if s.failpoint != nil {
+			s.failpoint(op)
+		}
 		fn(w, r)
-		lat.ObserveDuration(time.Since(t0))
 	}
 }
 

@@ -54,6 +54,12 @@ const (
 	FrameShutdown
 	// FrameError carries a fatal error description (either direction).
 	FrameError
+	// FramePing is the coordinator's liveness probe between barriers; a
+	// worker answers with FramePong. The supervised transport uses the
+	// pair to detect dead workers while no delivery is in flight.
+	FramePing
+	// FramePong acknowledges a FramePing (node -> coordinator).
+	FramePong
 )
 
 // Msg is one logical clique message in wire form.
@@ -151,7 +157,7 @@ func Append(buf []byte, f *Frame) ([]byte, error) {
 		for _, a := range f.Addrs {
 			buf = appendStr(buf, a)
 		}
-	case FrameReady, FrameShutdown:
+	case FrameReady, FrameShutdown, FramePing, FramePong:
 		// type byte only
 	case FrameRound:
 		buf = appendU64(buf, f.Round)
@@ -325,7 +331,7 @@ func decodePayload(payload []byte) (*Frame, error) {
 		for i := uint32(0); d.err == nil && i < count; i++ {
 			f.Addrs = append(f.Addrs, d.str())
 		}
-	case FrameReady, FrameShutdown:
+	case FrameReady, FrameShutdown, FramePing, FramePong:
 		// type byte only
 	case FrameRound:
 		f.Round = d.u64()

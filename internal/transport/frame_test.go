@@ -29,6 +29,8 @@ func sampleFrames() []*Frame {
 			Stats: WireStats{Frames: 12, FrameBytes: 480, Retransmits: 1, Acks: 6}},
 		{Type: FrameShutdown},
 		{Type: FrameError, Addr: "node 3: mesh bootstrap failed"},
+		{Type: FramePing},
+		{Type: FramePong, Node: 1},
 	}
 }
 
@@ -37,7 +39,7 @@ func sampleFrames() []*Frame {
 func normalize(f *Frame) *Frame {
 	c := *f
 	switch f.Type {
-	case FrameReady, FrameShutdown:
+	case FrameReady, FrameShutdown, FramePing, FramePong:
 		c = Frame{Type: f.Type}
 	}
 	return &c
@@ -177,7 +179,7 @@ func TestReadFrameMidFrameEOF(t *testing.T) {
 // arrive out of sequence.
 func TestFrameReorderedDelivery(t *testing.T) {
 	frames := sampleFrames()
-	perm := []int{4, 0, 9, 2, 7, 1, 8, 3, 6, 5}
+	perm := []int{4, 0, 9, 11, 2, 7, 1, 10, 8, 3, 6, 5}
 	var stream []byte
 	for _, i := range perm {
 		var err error

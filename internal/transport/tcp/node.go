@@ -12,11 +12,15 @@ import (
 
 // nodeOptions tunes a worker's delivery loop. The exported RunNode uses the
 // defaults; the in-process mode threads the coordinator's settings (and the
-// test-only drop hook) through.
+// test-only drop hook) through, and cmd/lapccnode threads its flags through
+// NodeConfig.
 type nodeOptions struct {
-	ackTimeout time.Duration
-	maxRetries int
-	dropData   func(round uint64, from, to int32, seq uint32, wave int) bool
+	ackTimeout  time.Duration
+	maxRetries  int
+	dialTimeout time.Duration
+	epoch       uint64
+	chaos       *transport.ChaosPlan
+	dropData    func(round uint64, from, to int32, seq uint32, wave int) bool
 }
 
 func (o *nodeOptions) defaults() {
@@ -26,6 +30,29 @@ func (o *nodeOptions) defaults() {
 	if o.maxRetries <= 0 {
 		o.maxRetries = 8
 	}
+	if o.dialTimeout <= 0 {
+		o.dialTimeout = 10 * time.Second
+	}
+}
+
+// NodeConfig carries a worker's tunables, mirroring the coordinator's
+// Options: the supervisor passes them to respawned lapccnode processes as
+// flags so both ends of the protocol agree on timeouts, the mesh epoch, and
+// the chaos plan. Zero values take the worker defaults.
+type NodeConfig struct {
+	// AckTimeout is the base retransmission timeout (default 200ms).
+	AckTimeout time.Duration
+	// MaxRetries bounds retransmission waves per stream (default 8).
+	MaxRetries int
+	// DialTimeout bounds the coordinator and mesh-peer dials and the mesh
+	// accept window (default 10s).
+	DialTimeout time.Duration
+	// Epoch is the coordinator's mesh incarnation; it keys the chaos
+	// plan's injection decisions.
+	Epoch uint64
+	// Chaos injects socket-level write faults into this worker's mesh
+	// connections (nil: none).
+	Chaos *transport.ChaosPlan
 }
 
 // RunNode runs one worker of a multi-process clique: it dials the
@@ -33,7 +60,18 @@ func (o *nodeOptions) defaults() {
 // coordinator shuts it down or a connection drops. It is the entire body of
 // cmd/lapccnode.
 func RunNode(coordAddr string, id, procs int) error {
-	return runNode(coordAddr, id, procs, nodeOptions{})
+	return RunNodeWith(coordAddr, id, procs, NodeConfig{})
+}
+
+// RunNodeWith is RunNode with explicit tunables.
+func RunNodeWith(coordAddr string, id, procs int, cfg NodeConfig) error {
+	return runNode(coordAddr, id, procs, nodeOptions{
+		ackTimeout:  cfg.AckTimeout,
+		maxRetries:  cfg.MaxRetries,
+		dialTimeout: cfg.DialTimeout,
+		epoch:       cfg.Epoch,
+		chaos:       cfg.Chaos,
+	})
 }
 
 // event is one unit of work for the node's single-threaded main loop: a
@@ -175,7 +213,7 @@ func runNode(coordAddr string, id, procs int, opts nodeOptions) error {
 // join performs the mesh bootstrap: hello to the coordinator, receive the
 // peer table, dial lower-id peers, accept higher-id peers, report ready.
 func (nd *node) join(coordAddr string) error {
-	coord, err := net.DialTimeout("tcp", coordAddr, 10*time.Second)
+	coord, err := net.DialTimeout("tcp", coordAddr, nd.opts.dialTimeout)
 	if err != nil {
 		return fmt.Errorf("node %d: dialing coordinator: %w", nd.id, err)
 	}
@@ -213,6 +251,13 @@ func (nd *node) join(coordAddr string) error {
 	}
 	accCh := make(chan accepted, expect)
 	go func() {
+		// Peers dial shortly after receiving the same peer table, so the
+		// dial timeout also bounds the accept window. Without it a worker
+		// whose higher-id peers died during bootstrap would wait here
+		// forever, which the supervisor's teardown could never unblock.
+		if l, ok := ln.(*net.TCPListener); ok {
+			l.SetDeadline(time.Now().Add(nd.opts.dialTimeout))
+		}
 		for i := 0; i < expect; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -230,14 +275,17 @@ func (nd *node) join(coordAddr string) error {
 		}
 	}()
 	for j := int32(0); j < nd.id; j++ {
-		conn, err := net.DialTimeout("tcp", pf.Addrs[j], 10*time.Second)
+		conn, err := net.DialTimeout("tcp", pf.Addrs[j], nd.opts.dialTimeout)
 		if err != nil {
 			return fmt.Errorf("node %d: dialing peer %d: %w", nd.id, j, err)
 		}
 		if _, err := transport.WriteFrame(conn, &transport.Frame{Type: transport.FrameHello, Node: nd.id}); err != nil {
 			return fmt.Errorf("node %d: mesh hello to peer %d: %w", nd.id, j, err)
 		}
-		nd.peers[j] = conn
+		// Chaos wraps only mesh connections (writes after the hello): the
+		// coordinator link stays clean so an injected fault is never
+		// mistaken for a dead supervisor.
+		nd.peers[j] = nd.opts.chaos.WrapConn(conn, nd.opts.epoch, nd.id, j)
 		nd.prd[j] = bufio.NewReader(conn)
 	}
 	for i := 0; i < expect; i++ {
@@ -249,7 +297,7 @@ func (nd *node) join(coordAddr string) error {
 			acc.conn.Close()
 			return fmt.Errorf("node %d: duplicate or invalid mesh peer %d", nd.id, acc.id)
 		}
-		nd.peers[acc.id] = acc.conn
+		nd.peers[acc.id] = nd.opts.chaos.WrapConn(acc.conn, nd.opts.epoch, nd.id, acc.id)
 		nd.prd[acc.id] = acc.rd
 	}
 
@@ -358,6 +406,9 @@ func (nd *node) loop() error {
 			switch f.Type {
 			case transport.FrameShutdown:
 				return nil
+			case transport.FramePing:
+				// Supervisor liveness probe; only sent between barriers.
+				err = nd.sendCoord(&transport.Frame{Type: transport.FramePong, Node: nd.id})
 			case transport.FrameRound:
 				err = nd.onRound(f)
 			case transport.FrameData:

@@ -24,6 +24,25 @@
 // The coordinator concatenates shards in process order and stable-sorts each
 // destination's messages by source, which reproduces the in-process merge
 // order exactly.
+//
+// # Supervision
+//
+// With Options.Supervise the coordinator also owns worker liveness. The
+// barrier is the recovery unit: workers hold no solver state between
+// barriers (everything lives on the engine side), so when a worker dies —
+// detected by a heartbeat between barriers or a connection error/deadline
+// during one — the supervisor tears the whole mesh down, respawns every
+// worker under a new epoch, and replays the in-flight barrier from its
+// checkpoint. Replaying the full barrier rather than one worker is not a
+// shortcut: the peer-to-peer mesh collapses when any member dies (peers
+// treat mid-stream connection errors as fatal), and because workers are
+// stateless between barriers the replay is bit-identical, which the chaos
+// differential suites pin. The per-barrier Checkpoint records the committed
+// round counter and splitmix64 digests of the barrier's inputs and inbox
+// shards; a replay re-digests its inputs and refuses to proceed if they
+// changed. Scheduled faults come from a transport.ChaosPlan: process kills
+// executed by the coordinator at chosen barriers, and socket-level write
+// faults injected inside the workers' mesh connections.
 package tcp
 
 import (
@@ -58,8 +77,42 @@ type Options struct {
 	AckTimeout time.Duration
 	// MaxRetries bounds the retransmission waves per stream (default 8).
 	MaxRetries int
-	// Stderr receives the worker processes' stderr (default os.Stderr).
+	// Stderr receives the worker processes' stderr and the supervisor's
+	// recovery log (default os.Stderr).
 	Stderr io.Writer
+
+	// DialTimeout bounds every worker-side dial (coordinator and mesh
+	// peers) and the worker's mesh accept window (default 10s).
+	DialTimeout time.Duration
+	// AcceptTimeout bounds the coordinator's mesh bootstrap: all workers
+	// must connect and report ready within it (default 30s).
+	AcceptTimeout time.Duration
+
+	// Supervise enables crash recovery: worker death is detected
+	// (heartbeat between barriers, connection errors and BarrierTimeout
+	// during one), the worker set is respawned under a new epoch, and the
+	// in-flight barrier is replayed from its checkpoint. Without it a dead
+	// worker fails the run, as a transport error (the pre-supervision
+	// behavior).
+	Supervise bool
+	// MaxRestarts bounds mesh restarts per barrier when supervising
+	// (default 3).
+	MaxRestarts int
+	// BarrierTimeout is the per-attempt deadline on every coordinator
+	// connection during a barrier, so a dead worker cannot stall the
+	// coordinator for the full retransmission backoff schedule (default
+	// 60s when supervising; 0 means no deadline otherwise).
+	BarrierTimeout time.Duration
+	// HeartbeatInterval paces the ping/pong liveness probe between
+	// barriers (default 1s when supervising; negative disables). The probe
+	// never contends with a barrier: it skips any tick where a Deliver
+	// holds the transport.
+	HeartbeatInterval time.Duration
+	// Chaos schedules deterministic faults: worker kills executed by the
+	// coordinator before chosen barriers, and socket-level write faults
+	// (resets, partial writes, stalls) injected inside the workers' mesh
+	// connections. Recovery from every scheduled fault requires Supervise.
+	Chaos *transport.ChaosPlan
 
 	// dropData, test-only (in-process workers): return true to suppress a
 	// data frame send, forcing the retransmission path.
@@ -79,10 +132,62 @@ func (o *Options) defaults() {
 	if o.Stderr == nil {
 		o.Stderr = os.Stderr
 	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.AcceptTimeout <= 0 {
+		o.AcceptTimeout = 30 * time.Second
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 3
+	}
+	if o.Supervise {
+		if o.BarrierTimeout <= 0 {
+			o.BarrierTimeout = 60 * time.Second
+		}
+		if o.HeartbeatInterval == 0 {
+			o.HeartbeatInterval = time.Second
+		}
+	}
 }
 
 // owner maps a logical clique node to its worker process.
 func owner(v int32, procs int) int32 { return v % int32(procs) }
+
+// Checkpoint is the supervisor's snapshot of the last committed barrier. It
+// is what a replay is checked against: the round counter the next barrier
+// must use, digests of the inputs and the per-worker inbox shards, and the
+// committed cumulative delivery counters (recovery re-runs a barrier, so
+// only committed attempts count).
+type Checkpoint struct {
+	// Barriers is the number of committed barriers — equally, the sequence
+	// number the next barrier will use.
+	Barriers uint64
+	// Epoch is the mesh incarnation that committed the last barrier.
+	Epoch uint64
+	// InDigest fingerprints the last committed barrier's input sends.
+	InDigest uint64
+	// ShardDigests fingerprints each worker's inbox shard of the last
+	// committed barrier, in process order.
+	ShardDigests []uint64
+	// Stats is the cumulative committed delivery counters.
+	Stats cc.DeliveryStats
+}
+
+// RecoveryStats counts the supervisor's interventions.
+type RecoveryStats struct {
+	// Kills is the number of scheduled chaos kills executed.
+	Kills uint64
+	// Restarts is the number of full mesh restarts.
+	Restarts uint64
+	// Respawns is the number of workers spawned beyond the initial boot.
+	Respawns uint64
+	// ReplayedBarriers counts barrier replay attempts after a failed
+	// delivery attempt.
+	ReplayedBarriers uint64
+	// HeartbeatFailures counts liveness probes that found a dead mesh.
+	HeartbeatFailures uint64
+}
 
 // Transport is the coordinator side of the multi-process backend. It
 // implements cc.Transport; Deliver calls serialize on an internal lock (one
@@ -91,64 +196,118 @@ type Transport struct {
 	opts  Options
 	procs int
 
-	ln    net.Listener
-	conns []net.Conn
-	rds   []*bufio.Reader
-	cmds  []*exec.Cmd
-	wg    sync.WaitGroup // in-process workers
-
-	mu     sync.Mutex
-	round  uint64
-	closed bool
-	cum    cc.DeliveryStats // cumulative across rounds
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    []net.Conn
+	rds      []*bufio.Reader
+	cmds     []*exec.Cmd
+	wg       sync.WaitGroup // in-process workers of the current epoch
+	round    uint64
+	epoch    uint64
+	booted   bool // a boot has succeeded at least once
+	meshDown bool
+	closed   bool
+	cum      cc.DeliveryStats // cumulative across committed rounds
+	ckpt     Checkpoint
+	rec      RecoveryStats
+	killed   map[transport.Kill]bool
+	stopHB   chan struct{}
 }
 
 // New boots a coordinator and its worker processes and blocks until the full
 // mesh is connected and every worker reported Ready.
 func New(opts Options) (*Transport, error) {
 	opts.defaults()
-	t := &Transport{opts: opts, procs: opts.Procs}
+	if err := opts.Chaos.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Chaos != nil {
+		for _, k := range opts.Chaos.Kills {
+			if k.Proc >= opts.Procs {
+				return nil, fmt.Errorf("%w: kill targets worker %d of %d", transport.ErrBadChaosPlan, k.Proc, opts.Procs)
+			}
+		}
+	}
+	t := &Transport{
+		opts:   opts,
+		procs:  opts.Procs,
+		killed: make(map[transport.Kill]bool),
+		stopHB: make(chan struct{}),
+	}
+	if err := t.boot(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	if opts.Supervise && opts.HeartbeatInterval > 0 {
+		go t.heartbeatLoop(opts.HeartbeatInterval)
+	}
+	return t, nil
+}
+
+// boot spawns the full worker set for the current epoch and bootstraps the
+// mesh. Each epoch gets a fresh coordinator listener: closing the old one
+// resets any stale worker still parked in its accept backlog, and a new
+// address guarantees a leftover from the previous epoch can never join the
+// new mesh. Called under mu (or before the transport is shared).
+func (t *Transport) boot() error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, fmt.Errorf("tcp: coordinator listen: %w", err)
+		return fmt.Errorf("tcp: coordinator listen: %w", err)
 	}
 	t.ln = ln
 	coordAddr := ln.Addr().String()
+	if t.booted {
+		t.rec.Respawns += uint64(t.procs)
+	}
 
-	if opts.Binary != "" {
+	if t.opts.Binary != "" {
 		t.cmds = make([]*exec.Cmd, t.procs)
 		for i := 0; i < t.procs; i++ {
-			cmd := exec.Command(opts.Binary,
-				"-coord", coordAddr, "-id", strconv.Itoa(i), "-procs", strconv.Itoa(t.procs))
-			cmd.Stderr = opts.Stderr
+			args := []string{
+				"-coord", coordAddr,
+				"-id", strconv.Itoa(i),
+				"-procs", strconv.Itoa(t.procs),
+				"-dial-timeout", t.opts.DialTimeout.String(),
+				"-ack-timeout", t.opts.AckTimeout.String(),
+				"-retries", strconv.Itoa(t.opts.MaxRetries),
+				"-epoch", strconv.FormatUint(t.epoch, 10),
+			}
+			if t.opts.Chaos.HasWriteFaults() {
+				args = append(args, "-chaos", t.opts.Chaos.String())
+			}
+			cmd := exec.Command(t.opts.Binary, args...)
+			cmd.Stderr = t.opts.Stderr
 			if err := cmd.Start(); err != nil {
-				t.Close()
-				return nil, fmt.Errorf("tcp: starting worker %d: %w", i, err)
+				return fmt.Errorf("tcp: starting worker %d: %w", i, err)
 			}
 			t.cmds[i] = cmd
 		}
 	} else {
 		no := nodeOptions{
-			ackTimeout: opts.AckTimeout,
-			maxRetries: opts.MaxRetries,
-			dropData:   opts.dropData,
+			ackTimeout:  t.opts.AckTimeout,
+			maxRetries:  t.opts.MaxRetries,
+			dialTimeout: t.opts.DialTimeout,
+			epoch:       t.epoch,
+			chaos:       t.opts.Chaos,
+			dropData:    t.opts.dropData,
 		}
 		for i := 0; i < t.procs; i++ {
 			t.wg.Add(1)
 			go func(id int) {
 				defer t.wg.Done()
 				if err := runNode(coordAddr, id, t.procs, no); err != nil {
-					fmt.Fprintf(opts.Stderr, "tcp: in-process worker %d: %v\n", id, err)
+					fmt.Fprintf(t.opts.Stderr, "tcp: in-process worker %d: %v\n", id, err)
 				}
 			}(i)
 		}
 	}
 
 	if err := t.bootstrap(); err != nil {
-		t.Close()
-		return nil, err
+		return err
 	}
-	return t, nil
+	t.booted = true
+	t.meshDown = false
+	return nil
 }
 
 // bootstrap accepts the worker connections, distributes the mesh address
@@ -157,7 +316,7 @@ func (t *Transport) bootstrap() error {
 	t.conns = make([]net.Conn, t.procs)
 	t.rds = make([]*bufio.Reader, t.procs)
 	addrs := make([]string, t.procs)
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(t.opts.AcceptTimeout)
 	for i := 0; i < t.procs; i++ {
 		if l, ok := t.ln.(*net.TCPListener); ok {
 			l.SetDeadline(deadline)
@@ -198,27 +357,112 @@ func (t *Transport) bootstrap() error {
 	return nil
 }
 
-// Deliver implements cc.Transport: one synchronous barrier across the worker
-// processes. The round argument is informational (engine rounds restart per
-// Run); the coordinator sequences barriers with its own monotone counter.
-func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.DeliveryStats, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil, cc.DeliveryStats{}, errors.New("tcp: transport is closed")
+// teardownWorkers kills and reaps the current epoch's worker set. Closing
+// the coordinator connections (and the listener, which resets any worker
+// still in its accept backlog) is what unblocks live workers: they exit on
+// the resulting read errors, so the in-process WaitGroup drains. Called
+// under mu.
+func (t *Transport) teardownWorkers() {
+	for i, conn := range t.conns {
+		if conn != nil {
+			conn.Close()
+			t.conns[i] = nil
+		}
 	}
-	rc := t.round
-	t.round++
+	if t.ln != nil {
+		t.ln.Close()
+		t.ln = nil
+	}
+	for i, cmd := range t.cmds {
+		if cmd == nil {
+			continue
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.cmds[i] = nil
+	}
+	t.cmds = nil
+	t.wg.Wait()
+	t.conns, t.rds = nil, nil
+}
 
-	// Split the round's sends by owning process, preserving the global
-	// ascending-source order within each process's list.
-	perProc := make([][]transport.Msg, t.procs)
-	dc := make([]int, n)
-	total := 0
+// restartMesh tears the current worker set down and boots a fresh one under
+// the next epoch. Called under mu.
+func (t *Transport) restartMesh() error {
+	t.rec.Restarts++
+	t.teardownWorkers()
+	t.epoch++
+	fmt.Fprintf(t.opts.Stderr, "tcp: restarting mesh (epoch %d, restart %d)\n", t.epoch, t.rec.Restarts)
+	if err := t.boot(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// executeKills runs the chaos plan's scheduled kills for a barrier, each
+// exactly once (a replayed barrier does not re-kill). Real worker processes
+// are SIGKILLed; in-process workers have their coordinator connection
+// severed, which collapses them the same way. Called under mu.
+func (t *Transport) executeKills(rc uint64) {
+	for _, p := range t.opts.Chaos.KillsAt(rc) {
+		k := transport.Kill{Barrier: rc, Proc: p}
+		if p >= t.procs || t.killed[k] {
+			continue
+		}
+		t.killed[k] = true
+		t.rec.Kills++
+		fmt.Fprintf(t.opts.Stderr, "tcp: chaos: killing worker %d before barrier %d\n", p, rc)
+		if t.cmds != nil && t.cmds[p] != nil {
+			t.cmds[p].Process.Kill()
+		} else if t.conns != nil && t.conns[p] != nil {
+			t.conns[p].Close()
+		}
+	}
+}
+
+// splitmix64 is the same finalizer transport.ChaosPlan and cc.FaultPlan use;
+// checkpoint digests inherit its replayability.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// digestMsgs folds a message list into a running digest: endpoints, length,
+// and every payload word.
+func digestMsgs(h uint64, msgs []transport.Msg) uint64 {
+	for _, m := range msgs {
+		h = splitmix64(h ^ uint64(uint32(m.From))<<32 ^ uint64(uint32(m.To)))
+		h = splitmix64(h ^ uint64(len(m.Data)))
+		for _, w := range m.Data {
+			h = splitmix64(h ^ uint64(w))
+		}
+	}
+	return h
+}
+
+// digestRound fingerprints one barrier's input: every process's send list,
+// in process order.
+func digestRound(perProc [][]transport.Msg) uint64 {
+	h := splitmix64(0x5ca1ab1e0ddba11)
+	for p, msgs := range perProc {
+		h = splitmix64(h ^ uint64(p))
+		h = digestMsgs(h, msgs)
+	}
+	return h
+}
+
+// splitSends partitions a round's sends by owning process, preserving the
+// global ascending-source order within each process's list, and counts
+// messages per destination.
+func (t *Transport) splitSends(n int, out []cc.Outbox) (perProc [][]transport.Msg, dc []int, total int, err error) {
+	perProc = make([][]transport.Msg, t.procs)
+	dc = make([]int, n)
 	for _, ob := range out {
 		for _, om := range ob.Msgs {
 			if om.To < 0 || int(om.To) >= n {
-				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: recipient %d out of range (n=%d)", om.To, n)
+				return nil, nil, 0, fmt.Errorf("tcp: recipient %d out of range (n=%d)", om.To, n)
 			}
 			p := owner(om.From, t.procs)
 			perProc[p] = append(perProc[p], transport.Msg{From: om.From, To: om.To, Data: ob.Data(om)})
@@ -226,30 +470,109 @@ func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.D
 			total++
 		}
 	}
+	return perProc, dc, total, nil
+}
+
+// Deliver implements cc.Transport: one synchronous barrier across the worker
+// processes. The round argument is informational (engine rounds restart per
+// Run); the coordinator sequences barriers with its own monotone counter,
+// which advances only when the barrier commits — a supervised replay reuses
+// the same sequence number. Under Options.Supervise a failed attempt tears
+// the mesh down, respawns the workers, and replays the barrier, up to
+// MaxRestarts times.
+func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.DeliveryStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, cc.DeliveryStats{}, errors.New("tcp: transport is closed")
+	}
+	rc := t.round
+	perProc, dc, total, err := t.splitSends(n, out)
+	if err != nil {
+		return nil, cc.DeliveryStats{}, err
+	}
+	inDigest := digestRound(perProc)
+
+	t.executeKills(rc)
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if t.meshDown && t.opts.Supervise {
+			if rerr := t.restartMesh(); rerr != nil {
+				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: restarting mesh for barrier %d: %w", rc, rerr)
+			}
+			if attempt > 0 {
+				// Replaying a failed attempt: the checkpoint contract says
+				// the inputs must be exactly what the failed attempt saw.
+				if d := digestRound(perProc); d != inDigest {
+					return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: barrier %d input digest changed across replay (%#x != %#x)", rc, d, inDigest)
+				}
+				t.rec.ReplayedBarriers++
+			}
+		}
+		inboxes, stats, shardDigests, err := t.deliverOnce(rc, n, perProc, dc, total)
+		if err == nil {
+			t.commit(rc, inDigest, shardDigests, stats)
+			return inboxes, stats, nil
+		}
+		lastErr = err
+		t.meshDown = true
+		if !t.opts.Supervise {
+			return nil, cc.DeliveryStats{}, lastErr
+		}
+		if attempt >= t.opts.MaxRestarts {
+			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: barrier %d failed after %d mesh restarts: %w", rc, t.opts.MaxRestarts, lastErr)
+		}
+		fmt.Fprintf(t.opts.Stderr, "tcp: barrier %d attempt %d failed: %v\n", rc, attempt, lastErr)
+	}
+}
+
+// deliverOnce runs one delivery attempt for one barrier against the current
+// mesh: dispatch the Round frames, collect every worker's inbox shard, and
+// assemble the per-destination inboxes. With a BarrierTimeout every
+// coordinator connection carries an absolute deadline for the attempt, so a
+// dead worker surfaces as an error here instead of stalling the coordinator
+// through the workers' full retransmission schedule.
+func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc []int, total int) ([][]cc.Message, cc.DeliveryStats, []uint64, error) {
+	if t.opts.BarrierTimeout > 0 {
+		deadline := time.Now().Add(t.opts.BarrierTimeout)
+		for _, conn := range t.conns {
+			conn.SetDeadline(deadline)
+		}
+		defer func() {
+			for _, conn := range t.conns {
+				if conn != nil {
+					conn.SetDeadline(time.Time{})
+				}
+			}
+		}()
+	}
 	for p := 0; p < t.procs; p++ {
 		if _, err := transport.WriteFrame(t.conns[p], &transport.Frame{
 			Type: transport.FrameRound, Round: rc, Msgs: perProc[p],
 		}); err != nil {
-			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: sending round %d to worker %d: %w", rc, p, err)
+			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: sending round %d to worker %d: %w", rc, p, err)
 		}
 	}
 
 	// Collect every worker's inbox shard. Shards arrive in any order across
 	// connections but reading sequentially is fine: TCP buffers them.
 	shards := make([][]transport.Msg, t.procs)
+	shardDigests := make([]uint64, t.procs)
 	stats := cc.DeliveryStats{Messages: int64(total)}
 	for p := 0; p < t.procs; p++ {
 		f, err := transport.ReadFrame(t.rds[p])
 		if err != nil {
-			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: reading inbox of worker %d in round %d: %w", p, rc, err)
+			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: reading inbox of worker %d in round %d: %w", p, rc, err)
 		}
 		if f.Type == transport.FrameError {
-			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d failed in round %d: %s", p, rc, f.Addr)
+			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d failed in round %d: %s", p, rc, f.Addr)
 		}
 		if f.Type != transport.FrameInbox || f.Round != rc {
-			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of inbox for round %d", p, f.Type, f.Round, rc)
+			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of inbox for round %d", p, f.Type, f.Round, rc)
 		}
 		shards[p] = f.Msgs
+		shardDigests[p] = digestMsgs(splitmix64(uint64(p)), f.Msgs)
 		stats.Frames += int64(f.Stats.Frames)
 		stats.FrameBytes += int64(f.Stats.FrameBytes)
 		stats.Retransmits += int64(f.Stats.Retransmits)
@@ -270,32 +593,144 @@ func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.D
 	for p := 0; p < t.procs; p++ {
 		for _, wm := range shards[p] {
 			if wm.To < 0 || int(wm.To) >= n {
-				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: worker %d delivered recipient %d out of range", p, wm.To)
+				return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d delivered recipient %d out of range", p, wm.To)
 			}
 			inboxes[wm.To] = append(inboxes[wm.To], cc.Message{From: int(wm.From), Data: wm.Data})
 			got++
 		}
 	}
 	if got != total {
-		return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: round %d delivered %d of %d messages", rc, got, total)
+		return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: round %d delivered %d of %d messages", rc, got, total)
 	}
 	for d := 0; d < n; d++ {
 		msgs := inboxes[d]
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
 	}
+	return inboxes, stats, shardDigests, nil
+}
+
+// commit seals a barrier: advance the round counter, fold the attempt's
+// stats into the committed totals, and snapshot the checkpoint. Called
+// under mu.
+func (t *Transport) commit(rc, inDigest uint64, shardDigests []uint64, stats cc.DeliveryStats) {
+	t.round = rc + 1
 	t.cum.Messages += stats.Messages
 	t.cum.Frames += stats.Frames
 	t.cum.FrameBytes += stats.FrameBytes
 	t.cum.Retransmits += stats.Retransmits
 	t.cum.Acks += stats.Acks
-	return inboxes, stats, nil
+	t.ckpt = Checkpoint{
+		Barriers:     rc + 1,
+		Epoch:        t.epoch,
+		InDigest:     inDigest,
+		ShardDigests: shardDigests,
+		Stats:        t.cum,
+	}
 }
 
-// Stats returns the cumulative delivery counters across all rounds.
+// heartbeatLoop probes worker liveness between barriers. It never contends
+// with a Deliver: a tick that cannot take the lock is skipped (the barrier
+// itself detects failures while it runs). On a failed probe the mesh is
+// restarted eagerly so the next barrier starts against live workers; if the
+// restart itself fails the mesh stays down and Deliver retries it.
+func (t *Transport) heartbeatLoop(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stopHB:
+			return
+		case <-tick.C:
+		}
+		if !t.mu.TryLock() {
+			continue
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		if !t.meshDown {
+			if err := t.pingAll(interval); err != nil {
+				t.rec.HeartbeatFailures++
+				t.meshDown = true
+				fmt.Fprintf(t.opts.Stderr, "tcp: heartbeat: %v\n", err)
+				if rerr := t.restartMesh(); rerr != nil {
+					fmt.Fprintf(t.opts.Stderr, "tcp: mesh restart after heartbeat failure: %v\n", rerr)
+				}
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// pingAll sends one Ping to every worker and reads the Pongs back, under a
+// deadline. Called under mu, strictly between barriers, so the ping/pong
+// exchange is the only traffic on the coordinator connections.
+func (t *Transport) pingAll(interval time.Duration) error {
+	timeout := interval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for p := 0; p < t.procs; p++ {
+		if t.conns[p] == nil {
+			return fmt.Errorf("tcp: worker %d has no connection", p)
+		}
+		t.conns[p].SetDeadline(deadline)
+	}
+	defer func() {
+		for _, conn := range t.conns {
+			if conn != nil {
+				conn.SetDeadline(time.Time{})
+			}
+		}
+	}()
+	for p := 0; p < t.procs; p++ {
+		if _, err := transport.WriteFrame(t.conns[p], &transport.Frame{Type: transport.FramePing}); err != nil {
+			return fmt.Errorf("tcp: ping to worker %d: %w", p, err)
+		}
+	}
+	for p := 0; p < t.procs; p++ {
+		f, err := transport.ReadFrame(t.rds[p])
+		if err != nil {
+			return fmt.Errorf("tcp: pong from worker %d: %w", p, err)
+		}
+		if f.Type != transport.FramePong {
+			return fmt.Errorf("tcp: worker %d answered ping with frame type %d", p, f.Type)
+		}
+	}
+	return nil
+}
+
+// Stats returns the cumulative delivery counters across all committed
+// rounds.
 func (t *Transport) Stats() cc.DeliveryStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.cum
+}
+
+// Recovery returns the supervisor's intervention counters.
+func (t *Transport) Recovery() RecoveryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec
+}
+
+// Checkpoint returns the snapshot of the last committed barrier.
+func (t *Transport) Checkpoint() Checkpoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ck := t.ckpt
+	ck.ShardDigests = append([]uint64(nil), t.ckpt.ShardDigests...)
+	return ck
+}
+
+// Epoch returns the current mesh incarnation (0 before any restart).
+func (t *Transport) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
 }
 
 // Close shuts the workers down and releases every connection. Safe to call
@@ -307,15 +742,19 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	if t.stopHB != nil {
+		close(t.stopHB)
+	}
+	conns, cmds, ln := t.conns, t.cmds, t.ln
 	t.mu.Unlock()
 
-	for _, conn := range t.conns {
+	for _, conn := range conns {
 		if conn != nil {
 			transport.WriteFrame(conn, &transport.Frame{Type: transport.FrameShutdown})
 		}
 	}
 	var firstErr error
-	for i, cmd := range t.cmds {
+	for i, cmd := range cmds {
 		if cmd == nil {
 			continue
 		}
@@ -334,13 +773,13 @@ func (t *Transport) Close() error {
 			}
 		}
 	}
-	for _, conn := range t.conns {
+	for _, conn := range conns {
 		if conn != nil {
 			conn.Close()
 		}
 	}
-	if t.ln != nil {
-		t.ln.Close()
+	if ln != nil {
+		ln.Close()
 	}
 	t.wg.Wait() // in-process workers exit on conn close/shutdown
 	return firstErr
