@@ -149,19 +149,31 @@ bench-net:
 # failed barriers from the round checkpoint, and the report — flow value,
 # IPM iterations, the full charged-round breakdown — must come out
 # byte-identical to the undisturbed local run. Recovery bookkeeping prints
-# on 'transport:' lines, which the diff filters.
+# on 'transport:' lines, which the diff filters. The chaotic run records a
+# transport flight dump; on failure the outputs and the dump are preserved
+# under .smoke-artifacts/ (CI uploads that directory) instead of vanishing
+# with the temp dir.
 chaos-smoke:
-	@set -e; tmp=$$(mktemp -d); \
-	trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) build -o $$tmp/lapccnode ./cmd/lapccnode; \
-	$(GO) build -o $$tmp/flowcc ./cmd/flowcc; \
-	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 >$$tmp/local.out; \
-	$$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 \
+	@tmp=$$(mktemp -d); \
+	( set -e; \
+	  $(GO) build -o $$tmp/lapccnode ./cmd/lapccnode; \
+	  $(GO) build -o $$tmp/flowcc ./cmd/flowcc; \
+	  $$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 >$$tmp/local.out; \
+	  $$tmp/flowcc -algo maxflow -width 6 -faults seed=3,drop=0.02 \
 		-transport tcp,procs=4,bin=$$tmp/lapccnode \
-		-chaos 'seed=7,reset=0.9,partial=0.1,kill=2:1,kill=5:3' 2>/dev/null \
-		| grep -v '^transport:' >$$tmp/chaos.out; \
-	diff -u $$tmp/local.out $$tmp/chaos.out; \
-	echo "chaos-smoke: OK (output under kills+resets byte-identical to local)"
+		-chaos 'seed=7,reset=0.9,partial=0.1,kill=2:1,kill=5:3' \
+		-flight $$tmp/chaos.flight.jsonl 2>/dev/null \
+		| grep -v '^transport:\|^flight:' >$$tmp/chaos.out; \
+	  diff -u $$tmp/local.out $$tmp/chaos.out; \
+	); status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  mkdir -p .smoke-artifacts; \
+	  cp $$tmp/*.out $$tmp/*.flight.jsonl .smoke-artifacts/ 2>/dev/null || true; \
+	  echo "chaos-smoke: FAILED (artifacts preserved in .smoke-artifacts/)"; \
+	fi; \
+	rm -rf "$$tmp"; \
+	[ $$status -eq 0 ] && echo "chaos-smoke: OK (output under kills+resets byte-identical to local)"; \
+	exit $$status
 
 # Re-measure the kill-recovery overhead figures behind BENCH_chaos.json.
 bench-chaos:

@@ -10,6 +10,9 @@ package lapcc_test
 
 import (
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,6 +20,7 @@ import (
 	"lapcc/internal/graph"
 	"lapcc/internal/linalg"
 	"lapcc/internal/metrics"
+	"lapcc/internal/trace"
 	"lapcc/internal/transport"
 	"lapcc/internal/transport/tcp"
 )
@@ -30,7 +34,10 @@ func chaosKillPlan(kills ...transport.Kill) *transport.ChaosPlan {
 }
 
 // chaosTransport boots a supervised 4-process clique of real lapccnode
-// subprocesses under the given plan.
+// subprocesses under the given plan, with a flight recorder attached. When
+// the test fails, the recorder's recent-event ring is dumped to
+// $LAPCC_ARTIFACT_DIR (or the working directory) so CI preserves the
+// transport's last moments alongside the failure.
 func chaosTransport(t *testing.T, plan *transport.ChaosPlan) *tcp.Transport {
 	t.Helper()
 	tr, err := tcp.New(tcp.Options{
@@ -44,6 +51,23 @@ func chaosTransport(t *testing.T, plan *transport.ChaosPlan) *tcp.Transport {
 	if err != nil {
 		t.Fatalf("booting supervised tcp transport: %v", err)
 	}
+	fl := trace.NewFlight(trace.DefaultFlightSize)
+	tr.SetFlight(fl, "")
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		dir := os.Getenv("LAPCC_ARTIFACT_DIR")
+		if dir == "" {
+			dir = "."
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".flight.jsonl")
+		if err := fl.DumpFile(path); err != nil {
+			t.Logf("flight dump: %v", err)
+		} else {
+			t.Logf("flight dump written to %s (%d events)", path, fl.Len())
+		}
+	})
 	return tr
 }
 

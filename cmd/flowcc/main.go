@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -60,6 +61,7 @@ func run() error {
 		workers       = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at any setting")
 		transportSpec = flag.String("transport", "local", "delivery backend: 'local', 'mem' (in-process wire codec), or 'tcp[,procs=N][,bin=PATH][,supervise=1]' (multi-process loopback clique); results are bit-identical across backends")
 		chaosSpec     = flag.String("chaos", "", "socket-level chaos plan for the tcp backend, e.g. 'seed=7,reset=0.002,partial=0.05,kill=3:1' (see transport.ParseChaosPlan); implies supervision, results stay bit-identical")
+		flightPath    = flag.String("flight", "", "attach a transport flight recorder (tcp backend): its wall-clock event ring is written here at exit and auto-dumped on unrecoverable failure; also served at /debug/flight with -debug-addr")
 	)
 	flag.Parse()
 
@@ -67,9 +69,13 @@ func run() error {
 	if *trOut != "" || *trEv != "" {
 		tr = trace.New()
 	}
+	var fl *trace.Flight
+	if *flightPath != "" {
+		fl = trace.NewFlight(trace.DefaultFlightSize)
+	}
 	ro := core.RunOptions{Trace: tr, Workers: *workers}
 	if *debugAddr != "" {
-		srv, reg, err := startDebug(*debugAddr)
+		srv, reg, err := startDebug(*debugAddr, fl)
 		if err != nil {
 			return err
 		}
@@ -107,20 +113,36 @@ func run() error {
 			defer bt.Close()
 			ro.Transport = bt
 			fmt.Printf("transport: %s\n", *transportSpec)
-			if tt, ok := bt.(*tcp.Transport); ok && chaos != nil {
-				fmt.Printf("transport: chaos %s\n", chaos)
-				// Runs after the report: the smoke gates filter '^transport:'.
-				defer func() {
-					rec := tt.Recovery()
-					fmt.Printf("transport: recovery kills=%d restarts=%d respawns=%d replayed-barriers=%d heartbeat-failures=%d epoch=%d\n",
-						rec.Kills, rec.Restarts, rec.Respawns, rec.ReplayedBarriers, rec.HeartbeatFailures, tt.Epoch())
-				}()
+			if tt, ok := bt.(*tcp.Transport); ok {
+				// Merge worker-local span records into the global tracer
+				// as node-%d subtrees at every barrier.
+				tt.SetTracer(tr)
+				if fl != nil {
+					tt.SetFlight(fl, *flightPath)
+				}
+				if chaos != nil {
+					fmt.Printf("transport: chaos %s\n", chaos)
+					// Runs after the report: the smoke gates filter '^transport:'.
+					defer func() {
+						rec := tt.Recovery()
+						fmt.Printf("transport: recovery kills=%d restarts=%d respawns=%d replayed-barriers=%d heartbeat-failures=%d epoch=%d\n",
+							rec.Kills, rec.Restarts, rec.Respawns, rec.ReplayedBarriers, rec.HeartbeatFailures, tt.Epoch())
+					}()
+				}
 			}
 		}
 	} else if *chaosSpec != "" {
 		return fmt.Errorf("-chaos requires a tcp -transport")
+	} else if *flightPath != "" {
+		return fmt.Errorf("-flight requires a tcp -transport")
 	}
 	finishTrace := func() error {
+		if fl != nil {
+			if err := fl.DumpFile(*flightPath); err != nil {
+				return err
+			}
+			fmt.Printf("flight: wrote %s (%d events)\n", *flightPath, fl.Len())
+		}
 		if !tr.Enabled() {
 			return nil
 		}
@@ -207,12 +229,15 @@ func run() error {
 }
 
 // startDebug creates the process-wide metrics registry, points the clique
-// engine at it, and serves the debug endpoints on addr.
-func startDebug(addr string) (*metrics.DebugServer, *metrics.Registry, error) {
+// engine at it, and serves the debug endpoints on addr (plus the flight
+// recorder on /debug/flight when one is attached).
+func startDebug(addr string, fl *trace.Flight) (*metrics.DebugServer, *metrics.Registry, error) {
 	reg := metrics.NewRegistry()
 	cc.SetMetrics(reg)
 	linalg.SetMetrics(reg)
-	srv, err := metrics.StartDebugServer(addr, reg)
+	srv, err := metrics.StartDebugServerWith(addr, reg, map[string]http.Handler{
+		"/debug/flight": fl.Handler(),
+	})
 	if err != nil {
 		return nil, nil, err
 	}

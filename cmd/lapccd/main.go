@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,6 +29,9 @@ import (
 	"lapcc/internal/linalg"
 	"lapcc/internal/metrics"
 	"lapcc/internal/serve"
+	"lapcc/internal/trace"
+	"lapcc/internal/transport"
+	"lapcc/internal/transport/tcp"
 )
 
 func main() {
@@ -45,6 +49,12 @@ func run() error {
 		workers  = flag.Int("workers", 0, "worker count for the numerical core (0 = GOMAXPROCS); results are bit-identical at any setting")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown window: on SIGTERM/SIGINT stop accepting and wait this long for in-flight requests")
 		flushTo  = flag.String("metrics-flush", "", "write a final metrics JSON snapshot to this path on shutdown (\"-\" = stderr; empty disables)")
+
+		accessLog     = flag.Bool("access-log", false, "write one JSON access-log line per request to stderr (request ID, op, status, latency)")
+		traceRing     = flag.Int("trace-ring", serve.DefaultTraceRing, "how many recent ?trace=1 request traces /v1/trace/{id} retains")
+		flightPath    = flag.String("flight", "", "attach a transport flight recorder: its event ring is auto-dumped here on unrecoverable transport failure and served at /debug/flight")
+		transportSpec = flag.String("transport", "local", "delivery backend for solver runs: 'local', 'mem', or 'tcp[,procs=N][,bin=PATH][,supervise=1]'; a non-local backend serializes requests (max-inflight 1)")
+		chaosSpec     = flag.String("chaos", "", "socket-level chaos plan for the tcp backend (see transport.ParseChaosPlan); implies supervision")
 	)
 	flag.Parse()
 
@@ -56,12 +66,64 @@ func run() error {
 		linalg.SetMetrics(nil)
 	}()
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		PoolSize:    *poolSize,
 		MaxInflight: *inflight,
 		Workers:     *workers,
 		Metrics:     reg,
-	})
+		TraceRing:   *traceRing,
+	}
+	if *accessLog {
+		opts.AccessLog = os.Stderr
+	}
+	var fl *trace.Flight
+	if *flightPath != "" || strings.HasPrefix(*transportSpec, "tcp") {
+		fl = trace.NewFlight(trace.DefaultFlightSize)
+		opts.Flight = fl
+	}
+	if *transportSpec != "" && *transportSpec != "local" {
+		var chaos *transport.ChaosPlan
+		if *chaosSpec != "" {
+			var err error
+			if chaos, err = transport.ParseChaosPlan(*chaosSpec); err != nil {
+				return err
+			}
+		}
+		bt, err := tcp.OpenWith(*transportSpec, chaos)
+		if err != nil {
+			return err
+		}
+		if bt != nil {
+			defer bt.Close()
+			opts.Transport = bt
+			fmt.Printf("lapccd: transport %s\n", *transportSpec)
+			if tt, ok := bt.(*tcp.Transport); ok {
+				tt.SetFlight(fl, *flightPath)
+				// /v1/stats and the lapcc_transport_* gauges snapshot the
+				// coordinator's recovery counters plus this process's
+				// chaos-injection counters.
+				opts.TransportStats = func() serve.TransportStats {
+					rec := tt.Recovery()
+					resets, partials, stalls := transport.ChaosCounters()
+					return serve.TransportStats{
+						Epoch:             tt.Epoch(),
+						Kills:             rec.Kills,
+						Restarts:          rec.Restarts,
+						Respawns:          rec.Respawns,
+						ReplayedBarriers:  rec.ReplayedBarriers,
+						HeartbeatFailures: rec.HeartbeatFailures,
+						ChaosResets:       resets,
+						ChaosPartials:     partials,
+						ChaosStalls:       stalls,
+					}
+				}
+			}
+		}
+	} else if *chaosSpec != "" {
+		return fmt.Errorf("-chaos requires a tcp -transport")
+	}
+
+	srv := serve.New(opts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -49,6 +49,7 @@ func run() error {
 		baseline    = flag.String("baseline", "BENCH_serve.json", "baseline file for -gate (seeded from this run when missing)")
 		budgetR     = flag.Int64("budget-rounds", 0, "per-request round budget (0 = unlimited)")
 		connRetries = flag.Int("conn-retries", 8, "per-request transport-error retries with exponential backoff (rides through a daemon restart; 0 disables)")
+		traceSample = flag.Int("trace-sample", 0, "run every Nth request with ?trace=1 (span summary in the response, full stream at /v1/trace/{id}); 0 disables")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func run() error {
 		N:           *n,
 		Seed:        *seed,
 		ConnRetries: *connRetries,
+		TraceSample: *traceSample,
 	}
 	if *budgetR > 0 {
 		opts.Budget = &serve.WireBudget{Rounds: *budgetR}
@@ -84,6 +86,20 @@ func run() error {
 		fmt.Printf("  %-12s %3d reqs  p50 %8.2fms  p99 %8.2fms  mean %8.2fms  errors %d\n",
 			op, st.Count, float64(st.P50)/1e6, float64(st.P99)/1e6, float64(st.Mean)/1e6, st.Errors)
 	}
+	if res.Traced > 0 {
+		fmt.Printf("loadgen: %d traced requests (every %d), trace overhead x%.2f\n",
+			res.Traced, *traceSample, res.TraceOverhead)
+	}
+	// Request IDs join client-side outcomes to the daemon's access-log
+	// lines and /v1/trace/{id}.
+	for _, rt := range res.Retried {
+		fmt.Printf("  retried %-12s request %3d  id=%s  shed-retries=%d conn-retries=%d\n",
+			rt.Op, rt.Index, orDash(rt.ID), rt.Retries, rt.ConnRetries)
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("  FAILED  %-12s request %3d  id=%s  status=%d code=%s\n",
+			f.Op, f.Index, orDash(f.ID), f.Status, f.Code)
+	}
 	if res.Errors > 0 {
 		return fmt.Errorf("%d/%d requests failed", res.Errors, res.Requests)
 	}
@@ -94,12 +110,13 @@ func run() error {
 		return err
 	}
 	f := &benchgate.File{
-		Description: "serving-layer throughput baseline: deterministic loadgen mix against lapccd; per-op p50/p99 latencies recorded in headline",
-		Recorded:    time.Now().Format("2006-01-02"),
-		Command:     fmt.Sprintf("go run ./cmd/loadgen -requests %d -concurrency %d -topologies %d -n %d -seed %d", *requests, *concurrency, *topologies, *n, *seed),
-		Benchmarks:  fresh,
-		Headline:    headline,
-		Notes:       "The gate compares whole-run ns-per-request under the serve tolerance (3.0x). Per-op percentiles are informational: under concurrency they measure queueing luck, not solver speed.",
+		Description:   "serving-layer throughput baseline: deterministic loadgen mix against lapccd; per-op p50/p99 latencies recorded in headline",
+		Recorded:      time.Now().Format("2006-01-02"),
+		Command:       fmt.Sprintf("go run ./cmd/loadgen -requests %d -concurrency %d -topologies %d -n %d -seed %d", *requests, *concurrency, *topologies, *n, *seed),
+		Benchmarks:    fresh,
+		Headline:      headline,
+		TraceOverhead: res.TraceOverhead,
+		Notes:         "The gate compares whole-run ns-per-request under the serve tolerance (3.0x). Per-op percentiles are informational: under concurrency they measure queueing luck, not solver speed.",
 	}
 	if err := f.WriteFile(*out); err != nil {
 		return err
@@ -130,4 +147,13 @@ func run() error {
 	}
 	fmt.Printf("loadgen: PASS, %d metrics within tolerance of %s\n", len(baseFile.Benchmarks), *baseline)
 	return nil
+}
+
+// orDash renders an absent request ID as "-" (the request never reached
+// the daemon).
+func orDash(id string) string {
+	if id == "" {
+		return "-"
+	}
+	return id
 }

@@ -51,7 +51,10 @@ type File struct {
 	Benchmarks  map[string]Metrics  `json:"benchmarks,omitempty"`
 	Workloads   map[string]Workload `json:"workloads,omitempty"`
 	Headline    json.RawMessage     `json:"headline,omitempty"`
-	Notes       string              `json:"notes,omitempty"`
+	// TraceOverhead is the serve suite's informational traced/untraced
+	// mean-latency ratio (loadgen -trace-sample); never gated.
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
+	Notes         string  `json:"notes,omitempty"`
 }
 
 // Load reads and decodes one BENCH_*.json baseline.

@@ -1,5 +1,5 @@
 // Package experiments contains the generators for every EXPERIMENTS.md
-// table (E1-E14): each experiment reproduces one quantitative claim of the
+// table (E1-E16): each experiment reproduces one quantitative claim of the
 // paper as a scaling measurement. The cmd/experiments CLI is a thin wrapper
 // around this package; tests run the quick variants against a buffer.
 package experiments
@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"E13", "E13 — fault injection: reliable-delivery round overhead vs drop rate", e13FaultSweep},
 		{"E14", "E14 — live metrics: /metrics scrape of retransmission counters vs drop rate", e14LiveMetrics},
 		{"E15", "E15 — parallel numerics: worker scaling with bit-identical results and rounds", e15ParallelNumerics},
+		{"E16", "E16 — distributed trace plane: merged worker timeline + flight recorder under chaos", e16DistributedTrace},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 )
 
@@ -19,6 +20,13 @@ import (
 // importing the package never changes the default mux of an embedding
 // program.
 func Handler(reg *Registry) http.Handler {
+	return HandlerWith(reg, nil)
+}
+
+// HandlerWith is Handler plus caller-supplied routes — the CLIs use it to
+// mount the transport flight recorder on /debug/flight. Extra patterns are
+// listed in the index and must not collide with the built-in ones.
+func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,6 +41,12 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	patterns := make([]string, 0, len(extra))
+	for pat, h := range extra {
+		mux.Handle(pat, h)
+		patterns = append(patterns, pat)
+	}
+	sort.Strings(patterns)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -43,6 +57,9 @@ func Handler(reg *Registry) http.Handler {
 		fmt.Fprintln(w, "  /metrics        Prometheus text format")
 		fmt.Fprintln(w, "  /metrics.json   JSON snapshot")
 		fmt.Fprintln(w, "  /debug/pprof/   pprof profiles")
+		for _, pat := range patterns {
+			fmt.Fprintf(w, "  %s\n", pat)
+		}
 	})
 	return mux
 }
@@ -57,11 +74,16 @@ type DebugServer struct {
 // Handler(reg) in a background goroutine. It returns once the listener is
 // bound, so Addr is immediately scrapeable.
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugServerWith(addr, reg, nil)
+}
+
+// StartDebugServerWith is StartDebugServer with extra routes (HandlerWith).
+func StartDebugServerWith(addr string, reg *Registry, extra map[string]http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: debug server listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: HandlerWith(reg, extra), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil
 }

@@ -50,6 +50,12 @@ type LoadOptions struct {
 	// reproducible. 0 disables: a transport error immediately fails the
 	// request.
 	ConnRetries int
+	// TraceSample, when positive, runs every TraceSample-th request of
+	// the schedule (indices 0, TraceSample, 2*TraceSample, ...) with
+	// ?trace=1, so the daemon returns a span summary and retains the
+	// JSONL stream for /v1/trace/{id}. The per-op latency split of traced
+	// vs untraced requests yields LoadResult.TraceOverhead. 0 disables.
+	TraceSample int
 }
 
 func (o *LoadOptions) defaults() {
@@ -85,6 +91,29 @@ type OpStats struct {
 	Mean   time.Duration `json:"mean_ns"`
 }
 
+// RequestFailure identifies one failed request of a run: the schedule
+// index, the daemon-assigned request ID (joinable to the daemon's
+// access-log lines and /v1/trace/{id}), and the typed error. The ID is
+// empty when the failure never reached the daemon (transport error).
+type RequestFailure struct {
+	Op     string `json:"op"`
+	Index  int    `json:"index"`
+	ID     string `json:"id,omitempty"`
+	Status int    `json:"status,omitempty"`
+	Code   string `json:"code,omitempty"`
+}
+
+// RequestRetry identifies one request that succeeded only after absorbing
+// shed (429 "overloaded") or transport-level retries. ID is the request ID
+// of the attempt that finally went through.
+type RequestRetry struct {
+	Op          string `json:"op"`
+	Index       int    `json:"index"`
+	ID          string `json:"id,omitempty"`
+	Retries     int    `json:"retries,omitempty"`
+	ConnRetries int    `json:"conn_retries,omitempty"`
+}
+
 // LoadResult is the outcome of RunLoad.
 type LoadResult struct {
 	PerOp    map[string]OpStats `json:"per_op"`
@@ -101,6 +130,16 @@ type LoadResult struct {
 	// NsPerRequest is the inverse throughput of the whole run: wall time
 	// divided by completed requests — the figure BENCH_serve.json gates.
 	NsPerRequest float64 `json:"ns_per_request"`
+	// Failures lists every failed request with its daemon-assigned ID, in
+	// schedule order; Retried likewise lists requests that needed retries.
+	Failures []RequestFailure `json:"failures,omitempty"`
+	Retried  []RequestRetry   `json:"retried,omitempty"`
+	// Traced counts requests sent with ?trace=1 (LoadOptions.TraceSample).
+	Traced int `json:"traced,omitempty"`
+	// TraceOverhead is the mean-latency ratio of traced to untraced
+	// requests, averaged over ops that saw both (informational — recorded
+	// in BENCH_serve.json but never gated). 0 when nothing was traced.
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 }
 
 // workItem is one scheduled request.
@@ -199,9 +238,13 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 		next        atomic.Int64
 		mu          sync.Mutex
 		latencies   = map[string][]time.Duration{}
+		tracedLats  = map[string][]time.Duration{}
 		errCounts   = map[string]int{}
 		retries     int
 		connRetries int
+		tracedN     int
+		failures    []RequestFailure
+		retried     []RequestRetry
 		wg          sync.WaitGroup
 	)
 	t0 := time.Now()
@@ -215,15 +258,32 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 					return
 				}
 				it := items[i]
+				url := opts.BaseURL + "/v1/" + it.op
+				traced := opts.TraceSample > 0 && i%opts.TraceSample == 0
+				if traced {
+					url += "?trace=1"
+				}
 				start := time.Now()
-				ok, shed, conn := post(opts.Client, opts.BaseURL+"/v1/"+it.op, it.body, opts.ConnRetries, i)
+				pr := post(opts.Client, url, it.body, opts.ConnRetries, i)
 				lat := time.Since(start)
 				mu.Lock()
-				latencies[it.op] = append(latencies[it.op], lat)
-				retries += shed
-				connRetries += conn
-				if !ok {
+				if traced {
+					tracedN++
+					tracedLats[it.op] = append(tracedLats[it.op], lat)
+				} else {
+					latencies[it.op] = append(latencies[it.op], lat)
+				}
+				retries += pr.retries
+				connRetries += pr.conn
+				if !pr.ok {
 					errCounts[it.op]++
+					failures = append(failures, RequestFailure{
+						Op: it.op, Index: i, ID: pr.id, Status: pr.status, Code: pr.code,
+					})
+				} else if pr.retries > 0 || pr.conn > 0 {
+					retried = append(retried, RequestRetry{
+						Op: it.op, Index: i, ID: pr.id, Retries: pr.retries, ConnRetries: pr.conn,
+					})
 				}
 				mu.Unlock()
 			}
@@ -232,7 +292,19 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	res := &LoadResult{PerOp: map[string]OpStats{}, Requests: len(items), Retries: retries, ConnRetries: connRetries, Elapsed: elapsed}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+	sort.Slice(retried, func(i, j int) bool { return retried[i].Index < retried[j].Index })
+	res := &LoadResult{
+		PerOp: map[string]OpStats{}, Requests: len(items),
+		Retries: retries, ConnRetries: connRetries, Elapsed: elapsed,
+		Failures: failures, Retried: retried, Traced: tracedN,
+	}
+	res.TraceOverhead = traceOverhead(latencies, tracedLats)
+	// Fold traced latencies back into the per-op stats after the overhead
+	// split: percentiles describe the whole run.
+	for op, lats := range tracedLats {
+		latencies[op] = append(latencies[op], lats...)
+	}
 	for op, lats := range latencies {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		var sum time.Duration
@@ -254,6 +326,18 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	return res, nil
 }
 
+// postResult is the outcome of one scheduled request: whether it finally
+// succeeded, how many shed and transport retries it absorbed, and the
+// daemon-assigned request ID, status, and error code of the last response
+// (ID empty when no response ever arrived).
+type postResult struct {
+	ok            bool
+	retries, conn int
+	id            string
+	status        int
+	code          string
+}
+
 // post sends one request, absorbing 429 "overloaded" responses with
 // bounded backoff: load shedding is the admission gate's contract, and a
 // replay client's job is to wait for a slot, not to count it as a failure.
@@ -261,30 +345,70 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 // restarting) are likewise absorbed up to connRetries times with
 // exponential backoff. Budget-exceeded 429s (and everything else non-200)
 // are real errors.
-func post(client *http.Client, url string, body []byte, connRetries, req int) (ok bool, retries, conn int) {
+func post(client *http.Client, url string, body []byte, connRetries, req int) (pr postResult) {
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			if conn >= connRetries {
-				return false, retries, conn
+			if pr.conn >= connRetries {
+				return pr
 			}
-			conn++
-			time.Sleep(connBackoff(req, conn))
+			pr.conn++
+			time.Sleep(connBackoff(req, pr.conn))
 			continue
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		pr.id = resp.Header.Get(RequestIDHeader)
+		pr.status = resp.StatusCode
 		if resp.StatusCode == http.StatusOK {
-			return true, retries, conn
+			pr.ok, pr.code = true, ""
+			return pr
+		}
+		var env errorEnvelope
+		if json.Unmarshal(data, &env) == nil {
+			pr.code = env.Error.Code
+			if env.Error.RequestID != "" {
+				pr.id = env.Error.RequestID
+			}
 		}
 		if resp.StatusCode == http.StatusTooManyRequests &&
 			bytes.Contains(data, []byte(`"overloaded"`)) && attempt < 200 {
-			retries++
+			pr.retries++
 			time.Sleep(time.Duration(1+attempt%10) * time.Millisecond)
 			continue
 		}
-		return false, retries, conn
+		return pr
 	}
+}
+
+// traceOverhead is the mean-latency ratio of traced to untraced requests,
+// averaged over the ops that saw both kinds. Informational: with small
+// samples under concurrency it carries queueing noise, like the per-op
+// percentiles.
+func traceOverhead(plain, traced map[string][]time.Duration) float64 {
+	mean := func(lats []time.Duration) float64 {
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		return float64(sum) / float64(len(lats))
+	}
+	var ratioSum float64
+	var ops int
+	for op, tl := range traced {
+		pl := plain[op]
+		if len(tl) == 0 || len(pl) == 0 {
+			continue
+		}
+		if m := mean(pl); m > 0 {
+			ratioSum += mean(tl) / m
+			ops++
+		}
+	}
+	if ops == 0 {
+		return 0
+	}
+	return ratioSum / float64(ops)
 }
 
 // connBackoff is the sleep before transport-error retry attempt (1-based)

@@ -4,16 +4,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"lapcc/internal/cc"
 	"lapcc/internal/core"
 	"lapcc/internal/linalg"
 	"lapcc/internal/metrics"
 	"lapcc/internal/rounds"
 	"lapcc/internal/sparsify"
+	"lapcc/internal/trace"
 )
 
 // DefaultEps is the solve precision used when a request carries none.
@@ -37,6 +42,27 @@ type Options struct {
 	// solver-stack instruments of every run, and is exposed on the
 	// daemon's /metrics endpoints.
 	Metrics *metrics.Registry
+	// AccessLog, if non-nil, receives one JSON object per completed
+	// request (see accessRecord): timestamp, request ID, op, status,
+	// error code, and latency. lapccd -access-log points it at stderr.
+	AccessLog io.Writer
+	// TraceRing bounds how many recent traced requests /v1/trace/{id} can
+	// serve. Default DefaultTraceRing.
+	TraceRing int
+	// Flight, if non-nil, is the daemon's transport flight recorder,
+	// exposed read-only on /debug/flight.
+	Flight *trace.Flight
+	// Transport, if non-nil, physically carries every solver run through
+	// the given delivery backend (core.RunOptions.Transport). The backend
+	// serializes one barrier at a time, so New clamps MaxInflight to 1
+	// when a transport is set — requests queue at the admission gate
+	// instead of interleaving barriers.
+	Transport cc.Transport
+	// TransportStats, if non-nil, snapshots the transport backend's
+	// recovery and chaos counters for /v1/stats and the
+	// lapcc_transport_* gauges. lapccd wires it to the TCP coordinator's
+	// Recovery()/Epoch() and the process chaos counters.
+	TransportStats func() TransportStats
 }
 
 // Server implements the solver-as-a-service HTTP surface. Construct with
@@ -53,6 +79,13 @@ type Server struct {
 	poolHits   atomic.Int64
 	poolMisses atomic.Int64
 	panics     atomic.Int64
+
+	// seq numbers requests within this daemon; the access log, the
+	// X-Lapcc-Request-Id header, and error envelopes all carry the
+	// resulting deterministic ID (see reqCtx).
+	seq    atomic.Int64
+	traces *traceRing
+	logMu  sync.Mutex
 
 	// hold, when non-nil, blocks every admitted request until the channel
 	// is closed. Test hook for deterministically filling the inflight
@@ -72,12 +105,18 @@ func New(opts Options) *Server {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if opts.Transport != nil {
+		// A delivery backend runs one barrier at a time; concurrent runs
+		// over it would interleave. Queue at the admission gate instead.
+		opts.MaxInflight = 1
+	}
 	return &Server{
 		opts:     opts,
 		inflight: make(chan struct{}, opts.MaxInflight),
 		solve:    newSessionPool(opts.PoolSize),
 		sparse:   newSessionPool(opts.PoolSize),
 		reg:      opts.Metrics,
+		traces:   newTraceRing(opts.TraceRing),
 	}
 }
 
@@ -93,11 +132,33 @@ type Stats struct {
 	SolveSessions  int   `json:"solve_sessions"`
 	SparsifyChains int   `json:"sparsify_chains"`
 	MaxInflight    int   `json:"max_inflight"`
+	TracedRequests int   `json:"traced_requests"`
+	// Transport reports the delivery backend's recovery and chaos
+	// counters when the daemon runs over one (Options.TransportStats).
+	Transport *TransportStats `json:"transport,omitempty"`
 }
 
-// Stats returns a snapshot of the serving counters.
+// TransportStats snapshots a delivery backend's supervision and chaos
+// counters for /v1/stats: mesh incarnations, executed kills and respawns,
+// replayed barriers, and the socket-level faults the chaos plan injected
+// in this process. Mirrored onto the lapcc_transport_* gauges at every
+// Stats call.
+type TransportStats struct {
+	Epoch             uint64 `json:"epoch"`
+	Kills             uint64 `json:"kills"`
+	Restarts          uint64 `json:"restarts"`
+	Respawns          uint64 `json:"respawns"`
+	ReplayedBarriers  uint64 `json:"replayed_barriers"`
+	HeartbeatFailures uint64 `json:"heartbeat_failures"`
+	ChaosResets       uint64 `json:"chaos_resets"`
+	ChaosPartials     uint64 `json:"chaos_partials"`
+	ChaosStalls       uint64 `json:"chaos_stalls"`
+}
+
+// Stats returns a snapshot of the serving counters, refreshing the
+// lapcc_transport_* gauges as a side effect when a transport is wired.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:       s.requests.Load(),
 		Shed:           s.shed.Load(),
 		PoolHits:       s.poolHits.Load(),
@@ -106,7 +167,25 @@ func (s *Server) Stats() Stats {
 		SolveSessions:  s.solve.size(),
 		SparsifyChains: s.sparse.size(),
 		MaxInflight:    s.opts.MaxInflight,
+		TracedRequests: s.traces.size(),
 	}
+	if s.opts.TransportStats != nil {
+		ts := s.opts.TransportStats()
+		st.Transport = &ts
+		set := func(name, help string, v uint64) {
+			s.reg.Gauge(name, help).Set(int64(v))
+		}
+		set("lapcc_transport_epoch", "Mesh incarnation of the daemon's transport backend.", ts.Epoch)
+		set("lapcc_transport_kills", "Scheduled chaos kills executed by the supervisor.", ts.Kills)
+		set("lapcc_transport_restarts", "Full mesh restarts.", ts.Restarts)
+		set("lapcc_transport_respawns", "Workers spawned beyond the initial boot.", ts.Respawns)
+		set("lapcc_transport_replayed_barriers", "Barrier replay attempts after failed deliveries.", ts.ReplayedBarriers)
+		set("lapcc_transport_heartbeat_failures", "Liveness probes that found a dead mesh.", ts.HeartbeatFailures)
+		set("lapcc_transport_chaos_resets", "Chaos-injected connection resets in this process.", ts.ChaosResets)
+		set("lapcc_transport_chaos_partials", "Chaos-fragmented frame writes in this process.", ts.ChaosPartials)
+		set("lapcc_transport_chaos_stalls", "Chaos-stalled frame writes in this process.", ts.ChaosStalls)
+	}
+	return st
 }
 
 // Handler returns the daemon's mux:
@@ -117,7 +196,13 @@ func (s *Server) Stats() Stats {
 //	POST /v1/maxflow      MaxFlowRequest -> MaxFlowResponse
 //	POST /v1/mincostflow  MinCostFlowRequest -> MinCostFlowResponse
 //	GET  /v1/stats        serving counters
+//	GET  /v1/trace/{id}   JSONL trace stream of a recent traced request
+//	GET  /debug/flight    transport flight-recorder dump (404 when unwired)
 //	GET  /healthz         liveness
+//
+// Any solve-family request may ask to run under a per-request tracer with
+// ?trace=1 or the X-Lapcc-Trace header; the response then carries a span
+// summary and the full JSONL stream is retained for /v1/trace/{id}.
 //
 // With a metrics registry, /metrics, /metrics.json, and /debug/pprof/ are
 // mounted from the shared debug handler (internal/metrics).
@@ -131,28 +216,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/v1/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+		b, ok := s.traces.get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorEnvelope{Error: WireError{
+				Code: "not_found", Message: "no retained trace for id", RequestID: id,
+			}})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+	})
+	mux.Handle("/debug/flight", s.opts.Flight.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	if s.reg != nil {
 		dbg := metrics.Handler(s.reg)
-		mux.Handle("/metrics", dbg)
-		mux.Handle("/metrics.json", dbg)
+		scrape := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.Stats() // refresh the lapcc_transport_* gauges before the scrape
+			dbg.ServeHTTP(w, r)
+		})
+		mux.Handle("/metrics", scrape)
+		mux.Handle("/metrics.json", scrape)
 		mux.Handle("/debug/pprof/", dbg)
 	}
 	return mux
 }
 
-// admit wraps an op handler with the admission layer: method check, load
-// shedding at MaxInflight, and per-op request/latency instruments.
-func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
+// opHandler is an op handler running under a per-request context: the
+// deterministic request ID, the optional tracer, and the outcome fields
+// the access log reports.
+type opHandler func(http.ResponseWriter, *http.Request, *reqCtx)
+
+// admit wraps an op handler with the admission layer: request-ID
+// assignment, method check, load shedding at MaxInflight, per-op
+// request/latency instruments, and the access-log line on the way out.
+func (s *Server) admit(op string, fn opHandler) http.HandlerFunc {
 	var (
 		reqs = s.reg.Counter("lapcc_serve_requests_total", "Admitted requests by op.", "op", op)
 		lat  = s.reg.Histogram("lapcc_serve_latency_ns", "Request latency by op.", "op", op)
 	)
 	return func(w http.ResponseWriter, r *http.Request) {
+		rc := s.newReqCtx(op, r)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(RequestIDHeader, rc.id)
+		tStart := time.Now()
+		defer func() {
+			rc.status = sw.status
+			s.logAccess(rc, time.Since(tStart))
+		}()
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required", 0)
+			s.error(sw, rc, http.StatusMethodNotAllowed, "bad_request", "POST required", 0)
 			return
 		}
 		select {
@@ -160,7 +277,7 @@ func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.shed.Add(1)
 			s.reg.Counter("lapcc_serve_shed_total", "Requests shed at the admission gate.").Inc()
-			writeError(w, http.StatusTooManyRequests, "overloaded",
+			s.error(sw, rc, http.StatusTooManyRequests, "overloaded",
 				fmt.Sprintf("all %d slots busy", s.opts.MaxInflight), 0)
 			return
 		}
@@ -181,7 +298,7 @@ func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
 				}
 				s.panics.Add(1)
 				s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "panic").Inc()
-				writeError(w, http.StatusInternalServerError, "internal",
+				s.error(sw, rc, http.StatusInternalServerError, "internal",
 					fmt.Sprintf("%s: recovered panic: %v", op, rec), 0)
 			}
 			lat.ObserveDuration(time.Since(t0))
@@ -189,31 +306,55 @@ func (s *Server) admit(op string, fn http.HandlerFunc) http.HandlerFunc {
 		if s.failpoint != nil {
 			s.failpoint(op)
 		}
-		fn(w, r)
+		fn(sw, r, rc)
 	}
 }
 
-func (s *Server) run(budget *rounds.Budget) core.RunOptions {
-	return core.RunOptions{Budget: budget, Workers: s.opts.Workers, Metrics: s.reg}
+// logAccess emits the request's access-log line (one JSON object) when
+// Options.AccessLog is set; writes are serialized so concurrent requests
+// never interleave bytes within a line.
+func (s *Server) logAccess(rc *reqCtx, d time.Duration) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(accessRecord{
+		T: nowRFC3339(), ID: rc.id, Op: rc.op,
+		Status: rc.status, Code: rc.code, Traced: rc.traced,
+		MS: float64(d.Microseconds()) / 1e3,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	_, _ = s.opts.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) run(budget *rounds.Budget, tr *trace.Tracer) core.RunOptions {
+	return core.RunOptions{
+		Trace: tr, Transport: s.opts.Transport,
+		Budget: budget, Workers: s.opts.Workers, Metrics: s.reg,
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	var req SolveRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, rc, &req) {
 		return
 	}
 	g, err := req.Graph.Graph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	rc.bind(w, g.Fingerprint())
 	if len(req.RHS) == 0 {
-		writeError(w, http.StatusBadRequest, "bad_request", "rhs: need at least one right-hand side", 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", "rhs: need at least one right-hand side", 0)
 		return
 	}
 	for i, b := range req.RHS {
 		if len(b) != g.N() {
-			writeError(w, http.StatusBadRequest, "bad_request",
+			s.error(w, rc, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("rhs[%d]: %d entries for n=%d", i, len(b), g.N()), 0)
 			return
 		}
@@ -224,7 +365,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	budget, err := req.Budget.Budget()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+
+	if rc.traced {
+		// A traced request bypasses the pool: a fresh cold session is the
+		// exact code path a pooled miss takes (no warm start, exact-only
+		// reuse), so the answer stays bit-identical to the untraced run
+		// while the per-request tracer observes every phase.
+		sess, err := core.NewLaplacianSession(g, core.SessionOptions{
+			Run:        s.run(budget, rc.tr),
+			ExactReuse: true,
+		})
+		if err != nil {
+			s.fail(w, rc, err)
+			return
+		}
+		s.poolHit(false)
+		resp := SolveResponse{Cached: false}
+		for _, b := range req.RHS {
+			res, err := sess.Solve(linalg.Vec(b), eps)
+			if err != nil {
+				s.fail(w, rc, err)
+				return
+			}
+			resp.X = append(resp.X, res.X)
+			resp.Iterations = append(resp.Iterations, res.Iterations)
+			resp.SparsifierEdges = res.SparsifierEdges
+		}
+		after := sess.Rounds()
+		resp.Rounds = WireRounds{Total: after.Total, Measured: after.Measured, Charged: after.Charged}
+		resp.Trace = s.finishTrace(rc)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
@@ -239,7 +412,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		e.sess.SetBudget(budget)
 		if err := e.sess.Reweight(g.Weights()); err != nil {
 			e.sess.SetBudget(nil)
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 	} else {
@@ -248,11 +421,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// reuse, so every response is bit-identical to a direct one-shot
 		// facade call — see the package comment.
 		sess, err := core.NewLaplacianSession(g, core.SessionOptions{
-			Run:        s.run(budget),
+			Run:        s.run(budget, nil),
 			ExactReuse: true,
 		})
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 		e.sess, e.chain, e.led, e.guard = sess, nil, nil, g
@@ -264,7 +437,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for _, b := range req.RHS {
 		res, err := e.sess.Solve(linalg.Vec(b), eps)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 		resp.X = append(resp.X, res.X)
@@ -280,19 +453,56 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	var req SparsifyRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, rc, &req) {
 		return
 	}
 	g, err := req.Graph.Graph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	rc.bind(w, g.Fingerprint())
 	budget, err := req.Budget.Budget()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+
+	if rc.traced {
+		// As with solve: a fresh exact-only chain is exactly the pooled
+		// miss path, so tracing never perturbs the response bytes.
+		led := rounds.New()
+		snap := rounds.Snap(led)
+		chain, err := sparsify.NewChain(g.Clone(), sparsify.ChainOptions{
+			ExactOnly: true,
+			Sparsify: sparsify.Options{
+				Ledger: led, Budget: budget,
+				Workers: s.opts.Workers, Metrics: s.reg, Trace: rc.tr,
+			},
+		})
+		if err != nil {
+			s.fail(w, rc, err)
+			return
+		}
+		s.poolHit(false)
+		alpha := 0.0
+		if g.IsConnected() {
+			alpha, err = sparsify.MeasureAlpha(g, chain.H(), 150)
+			if err != nil {
+				s.fail(w, rc, err)
+				return
+			}
+		}
+		d := snap.Stats()
+		writeJSON(w, http.StatusOK, SparsifyResponse{
+			H:      ToWireGraph(chain.H()),
+			Alpha:  alpha,
+			Cached: false,
+			Rounds: WireRounds{Total: d.TotalRounds(), Measured: d.MeasuredRounds, Charged: d.ChargedRounds},
+			Trace:  s.finishTrace(rc),
+		})
 		return
 	}
 
@@ -307,7 +517,7 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 		e.chain.SetBudget(budget)
 		if _, err := e.chain.Reweight(g.Weights()); err != nil {
 			e.chain.SetBudget(nil)
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 	} else {
@@ -322,7 +532,7 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 			},
 		})
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 		e.chain, e.led, e.sess, e.guard = chain, led, nil, g
@@ -334,7 +544,7 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	if g.IsConnected() {
 		alpha, err = sparsify.MeasureAlpha(g, e.chain.H(), 150)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, rc, err)
 			return
 		}
 	}
@@ -347,55 +557,58 @@ func (s *Server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	var req OrientRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, rc, &req) {
 		return
 	}
 	g, err := req.Graph.Graph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	rc.bind(w, g.Fingerprint())
 	budget, err := req.Budget.Budget()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
-	resp, err := core.Do(core.Request{Op: core.OpOrient, Graph: g, Run: s.run(budget)})
+	resp, err := core.Do(core.Request{Op: core.OpOrient, Graph: g, Run: s.run(budget, rc.tr)})
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, rc, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, OrientResponse{
 		Orient:     resp.Eulerian.Orient,
 		Iterations: resp.Eulerian.Iterations,
 		Rounds:     toWireRounds(resp.Rounds),
+		Trace:      s.finishTrace(rc),
 	})
 }
 
-func (s *Server) handleMaxFlow(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMaxFlow(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	var req MaxFlowRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, rc, &req) {
 		return
 	}
 	dg, err := req.Graph.DiGraph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	rc.bind(w, dg.Fingerprint())
 	budget, err := req.Budget.Budget()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
 	resp, err := core.Do(core.Request{
 		Op: core.OpMaxFlow, DiGraph: dg,
 		Args: core.Args{Source: req.Source, Sink: req.Sink},
-		Run:  s.run(budget),
+		Run:  s.run(budget, rc.tr),
 	})
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, rc, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MaxFlowResponse{
@@ -404,31 +617,33 @@ func (s *Server) handleMaxFlow(w http.ResponseWriter, r *http.Request) {
 		IPMIterations:      resp.MaxFlow.IPMIterations,
 		FinalAugmentations: resp.MaxFlow.FinalAugmentations,
 		Rounds:             toWireRounds(resp.Rounds),
+		Trace:              s.finishTrace(rc),
 	})
 }
 
-func (s *Server) handleMinCostFlow(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMinCostFlow(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	var req MinCostFlowRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, rc, &req) {
 		return
 	}
 	dg, err := req.Graph.DiGraph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	rc.bind(w, dg.Fingerprint())
 	budget, err := req.Budget.Budget()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
 	resp, err := core.Do(core.Request{
 		Op: core.OpMinCostFlow, DiGraph: dg,
 		Args: core.Args{Sigma: req.Sigma},
-		Run:  s.run(budget),
+		Run:  s.run(budget, rc.tr),
 	})
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, rc, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MinCostFlowResponse{
@@ -437,6 +652,7 @@ func (s *Server) handleMinCostFlow(w http.ResponseWriter, r *http.Request) {
 		ProgressIterations:  resp.MinCostFlow.ProgressIterations,
 		RepairAugmentations: resp.MinCostFlow.RepairAugmentations,
 		Rounds:              toWireRounds(resp.Rounds),
+		Trace:               s.finishTrace(rc),
 	})
 }
 
@@ -454,19 +670,19 @@ func (s *Server) poolHit(hit bool) {
 // fail maps a solver error onto the wire: budget exhaustion is a client-
 // visible 429 carrying the partial rounds, request-shape problems are 400,
 // everything else is 500.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, rc *reqCtx, err error) {
 	var be *rounds.BudgetError
 	switch {
 	case errors.As(err, &be):
 		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "budget_exceeded").Inc()
-		writeError(w, http.StatusTooManyRequests, "budget_exceeded", err.Error(),
+		s.error(w, rc, http.StatusTooManyRequests, "budget_exceeded", err.Error(),
 			be.Partial.MeasuredRounds+be.Partial.ChargedRounds)
 	case errors.Is(err, core.ErrBadRequest):
 		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", err.Error(), 0)
 	default:
 		s.reg.Counter("lapcc_serve_errors_total", "Request failures by code.", "code", "internal").Inc()
-		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		s.error(w, rc, http.StatusInternalServerError, "internal", err.Error(), 0)
 	}
 }
 
@@ -474,9 +690,9 @@ func toWireRounds(r core.RoundReport) WireRounds {
 	return WireRounds{Total: r.Total, Measured: r.Measured, Charged: r.Charged}
 }
 
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, rc *reqCtx, dst any) bool {
 	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "body: "+err.Error(), 0)
+		s.error(w, rc, http.StatusBadRequest, "bad_request", "body: "+err.Error(), 0)
 		return false
 	}
 	return true
@@ -489,6 +705,12 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string, partialRounds int64) {
-	writeJSON(w, status, errorEnvelope{Error: WireError{Code: code, Message: msg, Rounds: partialRounds}})
+// error writes the request's error envelope: the typed code plus the
+// request ID, so a failure joins to the access-log line and the client
+// side (loadgen prints the ID for failed requests).
+func (s *Server) error(w http.ResponseWriter, rc *reqCtx, status int, code, msg string, partialRounds int64) {
+	rc.code = code
+	writeJSON(w, status, errorEnvelope{Error: WireError{
+		Code: code, Message: msg, Rounds: partialRounds, RequestID: rc.id,
+	}})
 }

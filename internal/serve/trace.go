@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"lapcc/internal/trace"
+)
+
+// RequestIDHeader carries the request's ID on every response, so a client
+// can join a failure to the daemon's access-log line without parsing the
+// body.
+const RequestIDHeader = "X-Lapcc-Request-Id"
+
+// TraceHeader is the header form of the ?trace=1 query parameter: any
+// non-empty value asks for the request to run under a per-request Tracer.
+const TraceHeader = "X-Lapcc-Trace"
+
+// DefaultTraceRing is how many recent request traces /v1/trace/{id} can
+// serve when Options.TraceRing is zero.
+const DefaultTraceRing = 32
+
+// reqCtx is the per-request serving context: the deterministic request ID
+// (sequence number, extended with the graph fingerprint once the body is
+// decoded), the optional per-request tracer, and the outcome fields the
+// access log reports.
+type reqCtx struct {
+	op     string
+	seq    int64
+	id     string
+	traced bool
+	tr     *trace.Tracer // nil unless traced
+
+	status int
+	code   string // error code; "" on success
+}
+
+func (s *Server) newReqCtx(op string, r *http.Request) *reqCtx {
+	seq := s.seq.Add(1)
+	rc := &reqCtx{op: op, seq: seq, id: fmt.Sprintf("r%06d", seq)}
+	if r.URL.Query().Get("trace") == "1" || r.Header.Get(TraceHeader) != "" {
+		rc.traced = true
+		rc.tr = trace.New()
+	}
+	return rc
+}
+
+// bind extends the request ID with the decoded graph's structural
+// fingerprint — the "sequence + fingerprint" form that makes an ID
+// self-describing: the suffix identifies the topology across runs while
+// the prefix orders requests within one daemon. Updates the already-set
+// response header in place (headers are mutable until the first write).
+func (rc *reqCtx) bind(w http.ResponseWriter, fp uint64) {
+	rc.id = fmt.Sprintf("r%06d-%016x", rc.seq, fp)
+	w.Header().Set(RequestIDHeader, rc.id)
+}
+
+// finishTrace seals a traced request: the JSONL stream is stashed in the
+// trace ring under the request ID (served by /v1/trace/{id}) and the span
+// summary is rendered into the response's trace block. Returns nil for an
+// untraced request, so callers assign unconditionally.
+func (s *Server) finishTrace(rc *reqCtx) *WireTrace {
+	if rc.tr == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := rc.tr.WriteJSONL(&buf); err == nil {
+		s.traces.put(rc.id, buf.Bytes())
+	}
+	wt := &WireTrace{ID: rc.id, Attributed: rc.tr.AttributedFraction()}
+	for _, ph := range rc.tr.Phases() {
+		wt.Spans = append(wt.Spans, WirePhase{
+			Path: ph.Path, Calls: ph.Calls,
+			Measured: ph.MeasuredRounds, Charged: ph.ChargedRounds,
+			Messages: ph.Messages,
+		})
+	}
+	return wt
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// accessRecord is one access-log line: one JSON object, written to the
+// Options.AccessLog writer when set (lapccd -access-log sends it to
+// stderr). The ID joins the line to the client side (loadgen prints the
+// same ID for failed requests) and to /v1/trace/{id}.
+type accessRecord struct {
+	T      string  `json:"t"`
+	ID     string  `json:"id"`
+	Op     string  `json:"op"`
+	Status int     `json:"status"`
+	Code   string  `json:"code,omitempty"`
+	Traced bool    `json:"traced,omitempty"`
+	MS     float64 `json:"ms"`
+}
+
+// traceRing holds the JSONL streams of the last max traced requests, FIFO
+// evicted, keyed by request ID.
+type traceRing struct {
+	mu   sync.Mutex
+	max  int
+	ids  []string
+	data map[string][]byte
+}
+
+func newTraceRing(max int) *traceRing {
+	if max <= 0 {
+		max = DefaultTraceRing
+	}
+	return &traceRing{max: max, data: make(map[string][]byte, max)}
+}
+
+func (tr *traceRing) put(id string, jsonl []byte) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.data[id]; !ok {
+		tr.ids = append(tr.ids, id)
+		for len(tr.ids) > tr.max {
+			delete(tr.data, tr.ids[0])
+			tr.ids = tr.ids[1:]
+		}
+	}
+	tr.data[id] = jsonl
+}
+
+func (tr *traceRing) get(id string) ([]byte, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	b, ok := tr.data[id]
+	return b, ok
+}
+
+func (tr *traceRing) size() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.ids)
+}
+
+func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339Nano) }

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lapcc/internal/graph"
+	"lapcc/internal/metrics"
+	"lapcc/internal/trace"
+)
+
+// doSolve posts a solve for g and returns the parsed response plus the
+// X-Lapcc-Request-Id header.
+func doSolve(t *testing.T, url string, g *graph.Graph, query string) (SolveResponse, string, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve"+query, "application/json", bytes.NewReader(solveBody(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SolveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("decoding %s: %v", body, err)
+		}
+	}
+	return sr, resp.Header.Get(RequestIDHeader), resp.StatusCode
+}
+
+// TestTracedRequestCarriesSpanSummary: ?trace=1 attaches a per-request
+// tracer, the response carries the span summary, the full stream is
+// retained at /v1/trace/{id}, and the traced answer is bit-identical to
+// the untraced one (the traced path runs the exact pooled-miss code).
+func TestTracedRequestCarriesSpanSummary(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := graph.RandomRegular(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, plainID, code := doSolve(t, ts.URL, g, "")
+	if code != 200 {
+		t.Fatalf("untraced solve status %d", code)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced response carries a trace block")
+	}
+	if plainID == "" {
+		t.Fatal("untraced response missing request-ID header")
+	}
+
+	traced, id, code := doSolve(t, ts.URL, g, "?trace=1")
+	if code != 200 {
+		t.Fatalf("traced solve status %d", code)
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced response missing trace block")
+	}
+	if traced.Trace.ID != id {
+		t.Fatalf("trace block ID %q != header %q", traced.Trace.ID, id)
+	}
+	if !strings.Contains(id, "-") {
+		t.Fatalf("bound request ID %q missing fingerprint suffix", id)
+	}
+	if len(traced.Trace.Spans) == 0 || traced.Trace.Attributed <= 0 {
+		t.Fatalf("empty span summary: %+v", traced.Trace)
+	}
+	for i := range plain.X {
+		for j := range plain.X[i] {
+			if plain.X[i][j] != traced.X[i][j] {
+				t.Fatalf("traced solution diverges at [%d][%d]", i, j)
+			}
+		}
+	}
+
+	// The full stream is retained in the ring and is schema-clean.
+	resp, err := http.Get(ts.URL + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/trace/%s status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type %q", ct)
+	}
+	if err := trace.ValidateJSONL(resp.Body); err != nil {
+		t.Fatalf("retained stream invalid: %v", err)
+	}
+
+	// Unknown IDs are a typed 404 carrying the *probing* request's own ID.
+	resp2, err := http.Get(ts.URL + "/v1/trace/r999999-0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("unknown trace ID served %d", resp2.StatusCode)
+	}
+
+	if st := s.Stats(); st.TracedRequests != 1 {
+		t.Fatalf("stats count %d traced requests, want 1", st.TracedRequests)
+	}
+}
+
+// TestTraceHeaderEnablesTracing: the X-Lapcc-Trace header is equivalent to
+// ?trace=1.
+func TestTraceHeaderEnablesTracing(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	g, err := graph.RandomRegular(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/solve", bytes.NewReader(solveBody(t, g)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil {
+		t.Fatal("header-traced response missing trace block")
+	}
+}
+
+// TestTraceRingEviction: the ring holds the last TraceRing streams;
+// older ones evict FIFO.
+func TestTraceRingEviction(t *testing.T) {
+	s := New(Options{TraceRing: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	g, err := graph.RandomRegular(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, id, code := doSolve(t, ts.URL, g, "?trace=1")
+		if code != 200 {
+			t.Fatalf("solve %d status %d", i, code)
+		}
+		ids = append(ids, id)
+	}
+	status := func(id string) int {
+		resp, err := http.Get(ts.URL + "/v1/trace/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if status(ids[0]) != 404 {
+		t.Fatalf("oldest trace %s not evicted from a ring of 2", ids[0])
+	}
+	if status(ids[1]) != 200 || status(ids[2]) != 200 {
+		t.Fatal("recent traces evicted early")
+	}
+}
+
+// TestErrorEnvelopeCarriesRequestID: failures echo the request ID in both
+// the envelope and the header, so a loadgen line joins to the access log.
+func TestErrorEnvelopeCarriesRequestID(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env struct {
+		Error WireError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.RequestID == "" {
+		t.Fatalf("error envelope missing request_id: %+v", env.Error)
+	}
+	if hdr := resp.Header.Get(RequestIDHeader); hdr != env.Error.RequestID {
+		t.Fatalf("header ID %q != envelope ID %q", hdr, env.Error.RequestID)
+	}
+}
+
+// TestAccessLog: one JSON line per request on the configured writer,
+// including failed ones, carrying the bound ID and status.
+func TestAccessLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := New(Options{AccessLog: &logBuf})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g, err := graph.RandomRegular(32, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, okID, _ := doSolve(t, ts.URL, g, "?trace=1")
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var first, second accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != okID || first.Op != "solve" || first.Status != 200 || !first.Traced {
+		t.Fatalf("first access line %+v: want traced solve %s status 200", first, okID)
+	}
+	if second.Status != 400 || second.Code != "bad_request" {
+		t.Fatalf("second access line %+v: want status 400 bad_request", second)
+	}
+	if second.ID == "" || second.ID == okID {
+		t.Fatalf("failed request's log ID %q unusable", second.ID)
+	}
+}
+
+// TestStatsTransportBlock: when a TransportStats closure is wired, the
+// /v1/stats payload and the lapcc_transport_* gauges expose it.
+func TestStatsTransportBlock(t *testing.T) {
+	s := New(Options{
+		Metrics: metrics.NewRegistry(),
+		TransportStats: func() TransportStats {
+			return TransportStats{Epoch: 3, Kills: 2, Respawns: 8, ReplayedBarriers: 5, ChaosResets: 11}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Transport == nil {
+		t.Fatal("stats missing transport block")
+	}
+	if st.Transport.Epoch != 3 || st.Transport.Kills != 2 || st.Transport.ChaosResets != 11 {
+		t.Fatalf("transport block %+v", st.Transport)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"lapcc_transport_epoch 3",
+		"lapcc_transport_kills 2",
+		"lapcc_transport_replayed_barriers 5",
+		"lapcc_transport_chaos_resets 11",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDebugFlightRoute: the handler mounts /debug/flight — 404 when no
+// recorder is configured, NDJSON dump when one is.
+func TestDebugFlightRoute(t *testing.T) {
+	bare := httptest.NewServer(New(Options{}).Handler())
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("flightless /debug/flight served %d", resp.StatusCode)
+	}
+
+	fl := trace.NewFlight(8)
+	fl.Record(trace.FlightEvent{Kind: "kill", Barrier: 1, Node: 2})
+	wired := httptest.NewServer(New(Options{Flight: fl}).Handler())
+	defer wired.Close()
+	resp2, err := http.Get(wired.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/debug/flight served %d", resp2.StatusCode)
+	}
+	if err := trace.ValidateFlightJSONL(resp2.Body); err != nil {
+		t.Fatalf("flight route payload invalid: %v", err)
+	}
+}

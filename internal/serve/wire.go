@@ -80,6 +80,7 @@ type SolveResponse struct {
 	SparsifierEdges int         `json:"sparsifier_edges"`
 	Cached          bool        `json:"cached"`
 	Rounds          WireRounds  `json:"rounds"`
+	Trace           *WireTrace  `json:"trace,omitempty"`
 }
 
 // SparsifyRequest asks for the Theorem 3.3 sparsifier of Graph.
@@ -94,6 +95,7 @@ type SparsifyResponse struct {
 	Alpha  float64    `json:"alpha"`
 	Cached bool       `json:"cached"`
 	Rounds WireRounds `json:"rounds"`
+	Trace  *WireTrace `json:"trace,omitempty"`
 }
 
 // OrientRequest asks for the Theorem 1.4 Eulerian orientation of Graph.
@@ -107,6 +109,7 @@ type OrientResponse struct {
 	Orient     []bool     `json:"orient"`
 	Iterations int        `json:"iterations"`
 	Rounds     WireRounds `json:"rounds"`
+	Trace      *WireTrace `json:"trace,omitempty"`
 }
 
 // MaxFlowRequest asks for the exact maximum Source->Sink flow on Graph.
@@ -124,6 +127,7 @@ type MaxFlowResponse struct {
 	IPMIterations      int        `json:"ipm_iterations"`
 	FinalAugmentations int        `json:"final_augmentations"`
 	Rounds             WireRounds `json:"rounds"`
+	Trace              *WireTrace `json:"trace,omitempty"`
 }
 
 // MinCostFlowRequest asks for a minimum-cost routing of the demand vector
@@ -141,6 +145,28 @@ type MinCostFlowResponse struct {
 	ProgressIterations  int        `json:"progress_iterations"`
 	RepairAugmentations int        `json:"repair_augmentations"`
 	Rounds              WireRounds `json:"rounds"`
+	Trace               *WireTrace `json:"trace,omitempty"`
+}
+
+// WireTrace is the span summary of a traced request (?trace=1 or the
+// X-Lapcc-Trace header): the request ID keys the full JSONL stream at
+// /v1/trace/{id}, Attributed is the fraction of recorded rounds landing
+// inside some span, and Spans aggregates per phase path. Wall-clock times
+// are deliberately absent — the summary, like the JSONL stream, carries
+// only deterministic quantities.
+type WireTrace struct {
+	ID         string      `json:"id"`
+	Attributed float64     `json:"attributed"`
+	Spans      []WirePhase `json:"spans"`
+}
+
+// WirePhase is one aggregated row of a WireTrace.
+type WirePhase struct {
+	Path     string `json:"path"`
+	Calls    int    `json:"calls"`
+	Measured int64  `json:"measured"`
+	Charged  int64  `json:"charged"`
+	Messages int64  `json:"messages"`
 }
 
 // WireError is the daemon's error body, wrapped as {"error": {...}}. Codes:
@@ -152,6 +178,10 @@ type WireError struct {
 	// Rounds carries the partial rounds consumed before a budget ran out
 	// (budget_exceeded only).
 	Rounds int64 `json:"rounds,omitempty"`
+	// RequestID echoes the request's ID (also on the X-Lapcc-Request-Id
+	// response header) so client-side failures join to the daemon's
+	// access-log lines.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type errorEnvelope struct {

@@ -59,6 +59,16 @@ type jsonlRound struct {
 	MaxIn    int    `json:"maxIn"`
 }
 
+type jsonlMark struct {
+	Ev      string `json:"ev"`
+	Seq     int    `json:"seq"`
+	Span    int    `json:"span"`
+	Name    string `json:"name"`
+	Barrier uint64 `json:"barrier"`
+	Epoch   uint64 `json:"epoch"`
+	Node    int    `json:"node"`
+}
+
 // WriteJSONL writes the event stream as one JSON object per line, in
 // recording order with explicit sequence numbers. The stream is
 // deterministic: it carries span structure and costs but no wall-clock
@@ -90,6 +100,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			rec = jsonlTraffic{Ev: "traffic", Seq: seq, Span: ev.span, Tag: ev.tag, Messages: ev.messages, Words: ev.words}
 		case evRound:
 			rec = jsonlRound{Ev: "round", Seq: seq, Span: ev.span, Messages: ev.messages, Words: ev.words, MaxOut: ev.maxOut, MaxIn: ev.maxIn}
+		case evMark:
+			rec = jsonlMark{Ev: "mark", Seq: seq, Span: ev.span, Name: ev.tag, Barrier: ev.barrier, Epoch: ev.epoch, Node: ev.node}
 		default:
 			return fmt.Errorf("trace: unknown event kind %v", ev.kind)
 		}
@@ -156,17 +168,27 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			})
 		}
 		for _, ev := range evs {
-			if ev.kind != evCost {
-				continue
+			switch ev.kind {
+			case evCost:
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: ev.tag, Cat: "cost", Ph: "i",
+					Ts: usec(ev.at), Scope: "t", Pid: 1, Tid: 1,
+					Args: map[string]any{
+						"kind":   ev.costKind.String(),
+						"rounds": ev.rounds,
+					},
+				})
+			case evMark:
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: ev.tag, Cat: "mark", Ph: "i",
+					Ts: usec(ev.at), Scope: "g", Pid: 1, Tid: 1,
+					Args: map[string]any{
+						"barrier": ev.barrier,
+						"epoch":   ev.epoch,
+						"node":    ev.node,
+					},
+				})
 			}
-			file.TraceEvents = append(file.TraceEvents, chromeEvent{
-				Name: ev.tag, Cat: "cost", Ph: "i",
-				Ts: usec(ev.at), Scope: "t", Pid: 1, Tid: 1,
-				Args: map[string]any{
-					"kind":   ev.costKind.String(),
-					"rounds": ev.rounds,
-				},
-			})
 		}
 	}
 	enc := json.NewEncoder(w)

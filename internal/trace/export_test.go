@@ -187,6 +187,39 @@ func TestValidateJSONLRejectsTruncatedStream(t *testing.T) {
 	}
 }
 
+// TestValidateJSONLMarkEvents pins the mark record's schema: a point event
+// attributed to an open span (or -1 for none), with a non-empty name,
+// non-negative barrier/epoch, and node >= -1 — exactly the fields the
+// distributed supervision marks carry.
+func TestValidateJSONLMarkEvents(t *testing.T) {
+	const open = `{"ev":"begin","seq":0,"span":0,"parent":-1,"name":"a","path":"a"}` + "\n"
+	const close = `{"ev":"end","seq":2,"span":0,"measured":0,"charged":0}` + "\n"
+	ok := open +
+		`{"ev":"mark","seq":1,"span":0,"name":"chaos-kill","barrier":3,"epoch":1,"node":2}` + "\n" +
+		close
+	if err := ValidateJSONL(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid mark rejected: %v", err)
+	}
+	unattributed := `{"ev":"mark","seq":0,"span":-1,"name":"mesh-respawn","barrier":0,"epoch":1,"node":-1}` + "\n"
+	if err := ValidateJSONL(strings.NewReader(unattributed)); err != nil {
+		t.Fatalf("span -1 mark must validate: %v", err)
+	}
+
+	bad := map[string]string{
+		"empty name":      open + `{"ev":"mark","seq":1,"span":0,"name":"","barrier":0,"epoch":0,"node":-1}` + "\n" + close,
+		"missing barrier": open + `{"ev":"mark","seq":1,"span":0,"name":"m","epoch":0,"node":-1}` + "\n" + close,
+		"negative epoch":  open + `{"ev":"mark","seq":1,"span":0,"name":"m","barrier":0,"epoch":-1,"node":-1}` + "\n" + close,
+		"bad node":        open + `{"ev":"mark","seq":1,"span":0,"name":"m","barrier":0,"epoch":0,"node":-2}` + "\n" + close,
+		"unknown span":    open + `{"ev":"mark","seq":1,"span":9,"name":"m","barrier":0,"epoch":0,"node":-1}` + "\n" + close,
+		"unknown field":   open + `{"ev":"mark","seq":1,"span":0,"name":"m","barrier":0,"epoch":0,"node":-1,"t":1}` + "\n" + close,
+	}
+	for name, in := range bad {
+		if err := ValidateJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not", name)
+		}
+	}
+}
+
 func TestValidateJSONLAcceptsUnattributedCost(t *testing.T) {
 	in := `{"ev":"cost","seq":0,"span":-1,"tag":"t","kind":"charged","rounds":2}` + "\n"
 	if err := ValidateJSONL(strings.NewReader(in)); err != nil {

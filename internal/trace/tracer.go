@@ -66,6 +66,7 @@ const (
 	evCost
 	evTraffic
 	evRound
+	evMark
 )
 
 func (k eventKind) String() string {
@@ -80,6 +81,8 @@ func (k eventKind) String() string {
 		return "traffic"
 	case evRound:
 		return "round"
+	case evMark:
+		return "mark"
 	default:
 		return fmt.Sprintf("eventKind(%d)", int(k))
 	}
@@ -101,6 +104,10 @@ type event struct {
 	words    int64 // traffic, round
 	maxOut   int   // round
 	maxIn    int   // round
+
+	barrier uint64 // mark: barrier index at the transition
+	epoch   uint64 // mark: mesh epoch at the transition
+	node    int    // mark: worker index, -1 when not node-scoped
 }
 
 // Tracer records spans and events. The zero value is not usable; call New.
@@ -271,6 +278,29 @@ func (t *Tracer) LinkTraffic(tag string, messages, words int64) {
 	t.evs = append(t.evs, event{
 		kind: evTraffic, span: id, at: time.Since(t.epoch),
 		tag: tag, messages: messages, words: words,
+	})
+	t.mu.Unlock()
+}
+
+// Mark records a point event — a supervision transition such as a chaos
+// kill, mesh teardown/respawn, or checkpoint replay — attributed to the
+// innermost open span and tagged with the barrier index, mesh epoch, and
+// worker index it concerns (node -1 for coordinator-scoped transitions).
+// Marks carry no wall-clock or error text in the JSONL export, so a traced
+// chaos run with a fixed kill schedule stays byte-deterministic;
+// nondeterministic detail belongs in the flight recorder instead.
+func (t *Tracer) Mark(name string, barrier, epoch uint64, node int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	id := -1
+	if s := t.cur; s != nil {
+		id = s.id
+	}
+	t.evs = append(t.evs, event{
+		kind: evMark, span: id, at: time.Since(t.epoch),
+		tag: name, barrier: barrier, epoch: epoch, node: node,
 	})
 	t.mu.Unlock()
 }

@@ -140,6 +140,29 @@ func ValidateJSONL(r io.Reader) error {
 					return err
 				}
 			}
+		case "mark":
+			if err := checkSpanRef(begun, span, line); err != nil {
+				return err
+			}
+			name, err := strField(raw, "name", line)
+			if err != nil {
+				return err
+			}
+			if name == "" {
+				return fmt.Errorf("trace: line %d: empty mark name", line)
+			}
+			for _, f := range []string{"barrier", "epoch"} {
+				if v, err := intField(raw, f, line); err != nil {
+					return err
+				} else if v < 0 {
+					return fmt.Errorf("trace: line %d: negative %s %d", line, f, v)
+				}
+			}
+			if node, err := intField(raw, "node", line); err != nil {
+				return err
+			} else if node < -1 {
+				return fmt.Errorf("trace: line %d: bad node %d", line, node)
+			}
 		default:
 			return fmt.Errorf("trace: line %d: unknown event type %q", line, ev)
 		}
@@ -162,6 +185,7 @@ var eventFields = map[string]map[string]bool{
 	"cost":    set("ev", "seq", "span", "tag", "kind", "rounds"),
 	"traffic": set("ev", "seq", "span", "tag", "messages", "words"),
 	"round":   set("ev", "seq", "span", "messages", "words", "maxOut", "maxIn"),
+	"mark":    set("ev", "seq", "span", "name", "barrier", "epoch", "node"),
 }
 
 func set(keys ...string) map[string]bool {

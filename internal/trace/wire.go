@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The distributed wire form: a worker process cannot share a *Tracer with
+// the coordinator, so it records a flat stream of Recs — the serializable
+// projection of the span/event model — and ships them inside a FrameTrace
+// when its barrier shard is complete. The coordinator replays the stream
+// into the caller's Tracer under a "node-%d" prefix span (Tracer.Merge), so
+// a distributed run exports one timeline whose JSONL bytes are as
+// deterministic as a local run's: Recs carry no wall-clock fields and the
+// merge order is fixed (node index first, then each node's span open
+// sequence).
+
+// RecKind tags one wire record.
+type RecKind uint8
+
+const (
+	// RecBegin opens a span named Name nested under the previously open one.
+	RecBegin RecKind = 1 + iota
+	// RecEnd closes the innermost open span of the stream.
+	RecEnd
+	// RecTraffic attributes A messages / B payload words to the innermost
+	// open span under tag Name.
+	RecTraffic
+	// RecMark is a point event (supervision transitions and the like) named
+	// Name with Barrier/Epoch/Node tags.
+	RecMark
+)
+
+// Rec is one serializable trace record. The zero fields of a kind are
+// ignored by Merge but still travel (fixed-width encoding keeps the codec
+// trivial and the frames small — a worker emits a handful per barrier).
+type Rec struct {
+	Kind RecKind
+	Name string // begin: span name; traffic: tag; mark: event name
+	A, B int64  // traffic: messages, words
+
+	Barrier, Epoch uint64 // mark tags
+	Node           int    // mark tag (-1: not node-scoped)
+}
+
+// Defensive decode limits, mirroring internal/transport's: a corrupt count
+// or length must not drive allocation.
+const (
+	maxRecs    = 1 << 20
+	maxRecName = 1 << 12
+)
+
+// ErrBadRecs reports a structurally invalid Rec blob.
+var ErrBadRecs = errors.New("trace: malformed rec blob")
+
+// AppendRecs encodes recs and appends the bytes to buf (little-endian,
+// fixed-width):
+//
+//	blob := u32 count | count × rec
+//	rec  := u8 kind | u16 len(name) | name | i64 a | i64 b |
+//	        u64 barrier | u64 epoch | i32 node
+func AppendRecs(buf []byte, recs []Rec) ([]byte, error) {
+	if len(recs) > maxRecs {
+		return buf, fmt.Errorf("%w: %d records", ErrBadRecs, len(recs))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		if len(r.Name) > maxRecName {
+			return buf, fmt.Errorf("%w: name of %d bytes", ErrBadRecs, len(r.Name))
+		}
+		buf = append(buf, byte(r.Kind))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Name)))
+		buf = append(buf, r.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.A))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.B))
+		buf = binary.LittleEndian.AppendUint64(buf, r.Barrier)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(r.Node)))
+	}
+	return buf, nil
+}
+
+// DecodeRecs decodes an AppendRecs blob. The whole input must be consumed;
+// trailing bytes are an error, like the frame codec's.
+func DecodeRecs(b []byte) ([]Rec, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadRecs, len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	off := 4
+	if count > maxRecs {
+		return nil, fmt.Errorf("%w: count %d", ErrBadRecs, count)
+	}
+	// Each rec needs at least 39 bytes; reject counts the remaining bytes
+	// cannot hold before allocating.
+	if int64(count)*39 > int64(len(b)-off) {
+		return nil, fmt.Errorf("%w: count %d exceeds %d bytes", ErrBadRecs, count, len(b)-off)
+	}
+	recs := make([]Rec, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+3 > len(b) {
+			return nil, fmt.Errorf("%w: rec %d truncated", ErrBadRecs, i)
+		}
+		kind := RecKind(b[off])
+		nameLen := int(binary.LittleEndian.Uint16(b[off+1:]))
+		off += 3
+		if kind < RecBegin || kind > RecMark {
+			return nil, fmt.Errorf("%w: rec %d kind %d", ErrBadRecs, i, kind)
+		}
+		if nameLen > maxRecName || off+nameLen+36 > len(b) {
+			return nil, fmt.Errorf("%w: rec %d truncated", ErrBadRecs, i)
+		}
+		name := string(b[off : off+nameLen])
+		off += nameLen
+		r := Rec{Kind: kind, Name: name}
+		r.A = int64(binary.LittleEndian.Uint64(b[off:]))
+		r.B = int64(binary.LittleEndian.Uint64(b[off+8:]))
+		r.Barrier = binary.LittleEndian.Uint64(b[off+16:])
+		r.Epoch = binary.LittleEndian.Uint64(b[off+24:])
+		r.Node = int(int32(binary.LittleEndian.Uint32(b[off+32:])))
+		off += 36
+		recs = append(recs, r)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRecs, len(b)-off)
+	}
+	return recs, nil
+}
+
+// Buffer is the worker-side recorder: a stack-disciplined Rec stream with
+// no clock, no mutex, and no span objects — a worker's delivery loop is
+// single-threaded and its spans never outlive a barrier. All methods are
+// safe on a nil *Buffer (tracing disabled: no-ops, no allocation).
+type Buffer struct {
+	recs  []Rec
+	depth int
+}
+
+// NewBuffer returns an empty enabled buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Begin opens a span named name.
+func (b *Buffer) Begin(name string) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, Rec{Kind: RecBegin, Name: name})
+	b.depth++
+}
+
+// Beginf is Begin with a formatted name; formatting is skipped on nil.
+func (b *Buffer) Beginf(format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.Begin(fmt.Sprintf(format, args...))
+}
+
+// End closes the innermost open span. Unbalanced Ends are dropped.
+func (b *Buffer) End() {
+	if b == nil || b.depth == 0 {
+		return
+	}
+	b.recs = append(b.recs, Rec{Kind: RecEnd})
+	b.depth--
+}
+
+// Traffic attributes messages/words to the innermost open span.
+func (b *Buffer) Traffic(tag string, messages, words int64) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, Rec{Kind: RecTraffic, Name: tag, A: messages, B: words})
+}
+
+// Mark records a point event with barrier/epoch/node tags.
+func (b *Buffer) Mark(name string, barrier, epoch uint64, node int) {
+	if b == nil {
+		return
+	}
+	b.recs = append(b.recs, Rec{Kind: RecMark, Name: name, Barrier: barrier, Epoch: epoch, Node: node})
+}
+
+// Len returns the number of buffered records (0 on nil).
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.recs)
+}
+
+// Take closes any still-open spans and returns the buffered stream,
+// resetting the buffer for the next barrier.
+func (b *Buffer) Take() []Rec {
+	if b == nil {
+		return nil
+	}
+	for b.depth > 0 {
+		b.End()
+	}
+	recs := b.recs
+	b.recs = nil
+	return recs
+}
+
+// Merge replays a worker's Rec stream into the tracer as a subtree rooted
+// at a fresh span named name (e.g. "node-2"), nested under the innermost
+// open span. Replay preserves the stream's open sequence; callers merging
+// several workers fix the cross-worker order by calling Merge in node-index
+// order, which is the deterministic merge-order contract of the distributed
+// trace plane. A nil tracer ignores the stream.
+func (t *Tracer) Merge(name string, recs []Rec) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	root := t.Start(name)
+	var stack []*Span
+	for _, r := range recs {
+		switch r.Kind {
+		case RecBegin:
+			stack = append(stack, t.Start(r.Name))
+		case RecEnd:
+			if len(stack) > 0 {
+				stack[len(stack)-1].End()
+				stack = stack[:len(stack)-1]
+			}
+		case RecTraffic:
+			t.LinkTraffic(r.Name, r.A, r.B)
+		case RecMark:
+			t.Mark(r.Name, r.Barrier, r.Epoch, r.Node)
+		}
+	}
+	// Forgiving close: ending the root also ends unbalanced descendants.
+	root.End()
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRecCodecRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{Kind: RecBegin, Name: "barrier-3"},
+		{Kind: RecTraffic, Name: "shard", A: 42, B: 1 << 40},
+		{Kind: RecMark, Name: "chaos-kill", Barrier: 7, Epoch: 2, Node: -1},
+		{Kind: RecMark, Name: "replay", Barrier: 7, Epoch: 3, Node: 1},
+		{Kind: RecEnd},
+	}
+	blob, err := AppendRecs(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecs(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip diverged:\n in  %+v\n out %+v", recs, got)
+	}
+
+	// Append must extend, not replace.
+	prefix := []byte{0xaa, 0xbb}
+	blob2, err := AppendRecs(prefix, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob2[:2], prefix) || !bytes.Equal(blob2[2:], blob) {
+		t.Fatal("AppendRecs did not append to the given buffer")
+	}
+}
+
+func TestRecCodecEmpty(t *testing.T) {
+	blob, err := AppendRecs(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecs(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty stream decoded to %d recs", len(got))
+	}
+}
+
+func TestRecCodecRejectsMalformed(t *testing.T) {
+	valid, err := AppendRecs(nil, []Rec{{Kind: RecBegin, Name: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short header":        {1, 2},
+		"truncated rec":       valid[:len(valid)-4],
+		"trailing bytes":      append(append([]byte{}, valid...), 0),
+		"absurd count":        binary.LittleEndian.AppendUint32(nil, maxRecs+1),
+		"count exceeds bytes": binary.LittleEndian.AppendUint32(nil, 1000),
+	}
+	// A bad kind byte.
+	badKind := append([]byte{}, valid...)
+	badKind[4] = 99
+	cases["bad kind"] = badKind
+
+	for name, blob := range cases {
+		if _, err := DecodeRecs(blob); !errors.Is(err, ErrBadRecs) {
+			t.Errorf("%s: want ErrBadRecs, got %v", name, err)
+		}
+	}
+
+	// Oversized name and rec count are refused at encode time too.
+	if _, err := AppendRecs(nil, []Rec{{Kind: RecBegin, Name: strings.Repeat("n", maxRecName+1)}}); !errors.Is(err, ErrBadRecs) {
+		t.Errorf("oversized name encoded: %v", err)
+	}
+	if _, err := AppendRecs(nil, make([]Rec, maxRecs+1)); !errors.Is(err, ErrBadRecs) {
+		t.Errorf("oversized stream encoded: %v", err)
+	}
+}
+
+// TestBufferStackDiscipline: the worker-side buffer balances itself — Take
+// closes whatever is still open, unmatched Ends are dropped, and a nil
+// buffer swallows everything at zero cost.
+func TestBufferStackDiscipline(t *testing.T) {
+	var nilBuf *Buffer
+	nilBuf.Begin("x")
+	nilBuf.Beginf("y-%d", 1)
+	nilBuf.Traffic("t", 1, 2)
+	nilBuf.Mark("m", 0, 0, -1)
+	nilBuf.End()
+	if nilBuf.Len() != 0 || nilBuf.Take() != nil {
+		t.Fatal("nil buffer recorded something")
+	}
+
+	b := NewBuffer()
+	b.End() // unbalanced: dropped
+	b.Begin("outer")
+	b.Beginf("inner-%d", 7)
+	b.Traffic("shard", 3, 9)
+	b.End()
+	b.Mark("checkpoint", 5, 0, 2)
+	// "outer" left open: Take closes it.
+	recs := b.Take()
+	want := []Rec{
+		{Kind: RecBegin, Name: "outer"},
+		{Kind: RecBegin, Name: "inner-7"},
+		{Kind: RecTraffic, Name: "shard", A: 3, B: 9},
+		{Kind: RecEnd},
+		{Kind: RecMark, Name: "checkpoint", Barrier: 5, Node: 2},
+		{Kind: RecEnd},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("buffered stream:\n got  %+v\n want %+v", recs, want)
+	}
+	if b.Len() != 0 {
+		t.Fatal("Take did not reset the buffer")
+	}
+}
+
+// TestMergeReplay: a worker stream replayed under a node subtree produces a
+// schema-clean JSONL timeline with the worker's spans, traffic, and marks
+// nested under the named root.
+func TestMergeReplay(t *testing.T) {
+	b := NewBuffer()
+	b.Begin("barrier-0")
+	b.Traffic("recv", 10, 100)
+	b.Mark("shard-done", 0, 0, 2)
+	// Leave barrier-0 open: Merge's root.End() must still balance the tree.
+	stream := b.Take()
+
+	tr := New()
+	root := tr.Start("solve")
+	tr.Merge("node-2", stream)
+	tr.Merge("node-3", nil) // empty stream: no subtree at all
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateJSONL(strings.NewReader(out)); err != nil {
+		t.Fatalf("merged timeline invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`"name":"node-2"`, `"name":"barrier-0"`, `"name":"shard-done"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged timeline missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "node-3") {
+		t.Fatal("empty stream still created a node-3 subtree")
+	}
+
+	// A nil tracer ignores the stream.
+	var nilTr *Tracer
+	nilTr.Merge("node-0", stream)
+}
+
+// TestMergeDeterministic: replaying the same worker streams in the same
+// order twice yields byte-identical JSONL — the property the distributed
+// merge contract rests on.
+func TestMergeDeterministic(t *testing.T) {
+	streams := make([][]Rec, 3)
+	for p := range streams {
+		b := NewBuffer()
+		b.Beginf("barrier-%d", 0)
+		b.Traffic("recv", int64(p), int64(p*10))
+		b.End()
+		streams[p] = b.Take()
+	}
+	render := func() string {
+		tr := New()
+		root := tr.Start("solve")
+		for p, s := range streams {
+			tr.Merge("node-"+string(rune('0'+p)), s)
+		}
+		root.End()
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("merge is not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

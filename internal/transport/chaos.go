@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -187,6 +188,23 @@ func (p *ChaosPlan) action(epoch uint64, self, peer int32, write uint64) chaosAc
 	return chaosNone
 }
 
+// Process-wide injection counters, incremented as chaosConn executes each
+// fate. With in-process workers (the default for lapccd and the test
+// harnesses) every mesh connection lives in this process, so the counters
+// see the whole clique; with -transport tcp,bin=1 each worker counts its
+// own injections and the coordinator's figures cover only its side.
+var (
+	chaosResets   atomic.Uint64
+	chaosPartials atomic.Uint64
+	chaosStalls   atomic.Uint64
+)
+
+// ChaosCounters returns the number of connection resets, fragmented
+// writes, and stalled writes this process has injected since start.
+func ChaosCounters() (resets, partials, stalls uint64) {
+	return chaosResets.Load(), chaosPartials.Load(), chaosStalls.Load()
+}
+
 // chaosConn injects the plan's write-level faults on one connection. Reads
 // pass through untouched: a reset injected by the writer side surfaces on
 // the peer as a genuine connection error.
@@ -217,10 +235,12 @@ func (c *chaosConn) Write(b []byte) (int, error) {
 	c.mu.Unlock()
 	switch c.plan.action(c.epoch, c.self, c.peer, idx) {
 	case chaosReset:
+		chaosResets.Add(1)
 		c.Conn.Close()
 		return 0, fmt.Errorf("%w (conn %d->%d, epoch %d, write %d)",
 			ErrChaosReset, c.self, c.peer, c.epoch, idx)
 	case chaosPartial:
+		chaosPartials.Add(1)
 		if len(b) > 1 {
 			half := len(b) / 2
 			n, err := c.Conn.Write(b[:half])
@@ -231,6 +251,7 @@ func (c *chaosConn) Write(b []byte) (int, error) {
 			return n + m, err
 		}
 	case chaosStall:
+		chaosStalls.Add(1)
 		time.Sleep(c.plan.stallDelay())
 	}
 	return c.Conn.Write(b)

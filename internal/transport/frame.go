@@ -60,6 +60,17 @@ const (
 	FramePing
 	// FramePong acknowledges a FramePing (node -> coordinator).
 	FramePong
+	// FrameTrace carries a node's serialized trace records for one barrier
+	// (node -> coordinator), sent immediately before the barrier's
+	// FrameInbox when the round was flagged RoundFlagTrace. Blob holds a
+	// trace.AppendRecs stream; the transport layer does not interpret it.
+	FrameTrace
+)
+
+// Round flags carried on FrameRound. RoundFlagTrace asks the worker to
+// record its barrier-local spans and return them in a FrameTrace.
+const (
+	RoundFlagTrace uint32 = 1 << iota
 )
 
 // Msg is one logical clique message in wire form.
@@ -87,6 +98,8 @@ type Frame struct {
 	Addrs      []string // FramePeers
 	Msgs       []Msg    // FrameRound, FrameData, FrameInbox
 	Stats      WireStats
+	Flags      uint32 // FrameRound (RoundFlag* bits)
+	Blob       []byte // FrameTrace (opaque trace record stream)
 }
 
 // Defensive decode limits: a corrupt or hostile length field must not drive
@@ -161,7 +174,13 @@ func Append(buf []byte, f *Frame) ([]byte, error) {
 		// type byte only
 	case FrameRound:
 		buf = appendU64(buf, f.Round)
+		buf = appendU32(buf, f.Flags)
 		buf = appendMsgs(buf, f.Msgs)
+	case FrameTrace:
+		buf = appendU64(buf, f.Round)
+		buf = appendU32(buf, uint32(f.Node))
+		buf = appendU32(buf, uint32(len(f.Blob)))
+		buf = append(buf, f.Blob...)
 	case FrameData:
 		buf = appendU64(buf, f.Round)
 		buf = appendU32(buf, uint32(f.Node))
@@ -251,6 +270,26 @@ func (d *decoder) str() string {
 	return s
 }
 
+// blob reads a u32-prefixed byte string bounded only by the remaining
+// payload (the frame length prefix already caps it at MaxFrameBytes).
+func (d *decoder) blob() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if d.off+int(n) > len(d.b) {
+		d.fail()
+		return nil
+	}
+	var b []byte
+	if n > 0 {
+		b = make([]byte, n)
+		copy(b, d.b[d.off:d.off+int(n)])
+	}
+	d.off += int(n)
+	return b
+}
+
 func (d *decoder) msgs() []Msg {
 	count := d.u32()
 	if d.err != nil || count == 0 {
@@ -335,7 +374,12 @@ func decodePayload(payload []byte) (*Frame, error) {
 		// type byte only
 	case FrameRound:
 		f.Round = d.u64()
+		f.Flags = d.u32()
 		f.Msgs = d.msgs()
+	case FrameTrace:
+		f.Round = d.u64()
+		f.Node = int32(d.u32())
+		f.Blob = d.blob()
 	case FrameData:
 		f.Round = d.u64()
 		f.Node = int32(d.u32())

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lapcc/internal/trace"
 	"lapcc/internal/transport"
 )
 
@@ -106,6 +107,10 @@ type roundState struct {
 
 	stats transport.WireStats
 	done  bool
+
+	traced    bool  // round was flagged RoundFlagTrace
+	sentMsgs  int64 // messages this worker's owned sources sent
+	sentWords int64 // payload words across them
 }
 
 // writer drains an unbounded frame queue onto one mesh connection. Mesh
@@ -451,6 +456,13 @@ func (nd *node) onRound(f *transport.Frame) error {
 		return fmt.Errorf("node %d: duplicate round %d", nd.id, f.Round)
 	}
 	rs.haveRound = true
+	if f.Flags&transport.RoundFlagTrace != 0 {
+		rs.traced = true
+		rs.sentMsgs = int64(len(f.Msgs))
+		for _, m := range f.Msgs {
+			rs.sentWords += int64(len(m.Data))
+		}
+	}
 
 	// Partition by destination owner, preserving order (the coordinator
 	// sends in ascending-source order; per (src,dst) order rides along).
@@ -648,6 +660,11 @@ func (nd *node) maybeFinish(rc uint64, rs *roundState) error {
 			shard = append(shard, st.chunks[c]...)
 		}
 	}
+	if rs.traced {
+		if err := nd.sendTrace(rc, rs, shard); err != nil {
+			return err
+		}
+	}
 	if err := nd.sendCoord(&transport.Frame{
 		Type: transport.FrameInbox, Round: rc, Node: nd.id, Msgs: shard, Stats: rs.stats,
 	}); err != nil {
@@ -661,6 +678,35 @@ func (nd *node) maybeFinish(rc uint64, rs *roundState) error {
 	rs.outFrames = nil
 	if rc >= 2 {
 		delete(nd.rounds, rc-2)
+	}
+	return nil
+}
+
+// sendTrace ships the barrier's trace records to the coordinator,
+// immediately before the inbox frame on the same connection and goroutine,
+// so the coordinator reads trace-then-inbox in order. Only
+// seed-reproducible quantities are recorded: the worker's sent and
+// assembled-shard traffic. Retransmission and frame counts depend on
+// wall-clock timing, so they travel in the inbox's wire stats and the
+// coordinator's flight recorder instead of the deterministic trace stream.
+func (nd *node) sendTrace(rc uint64, rs *roundState, shard []transport.Msg) error {
+	buf := trace.NewBuffer()
+	buf.Beginf("barrier-%d", rc)
+	buf.Traffic("sent", rs.sentMsgs, rs.sentWords)
+	var shardWords int64
+	for _, m := range shard {
+		shardWords += int64(len(m.Data))
+	}
+	buf.Traffic("shard", int64(len(shard)), shardWords)
+	buf.End()
+	blob, err := trace.AppendRecs(nil, buf.Take())
+	if err != nil {
+		return fmt.Errorf("node %d: encoding trace for round %d: %w", nd.id, rc, err)
+	}
+	if err := nd.sendCoord(&transport.Frame{
+		Type: transport.FrameTrace, Round: rc, Node: nd.id, Blob: blob,
+	}); err != nil {
+		return fmt.Errorf("node %d: trace for round %d: %w", nd.id, rc, err)
 	}
 	return nil
 }

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"lapcc/internal/cc"
+	"lapcc/internal/trace"
 	"lapcc/internal/transport"
 )
 
@@ -212,6 +213,10 @@ type Transport struct {
 	rec      RecoveryStats
 	killed   map[transport.Kill]bool
 	stopHB   chan struct{}
+
+	tracer     *trace.Tracer // merged distributed trace plane (nil: untraced)
+	flight     *trace.Flight // crash flight recorder (nil: disabled)
+	flightDump string        // JSONL dump path on unrecoverable failure
 }
 
 // New boots a coordinator and its worker processes and blocks until the full
@@ -242,6 +247,50 @@ func New(opts Options) (*Transport, error) {
 		go t.heartbeatLoop(opts.HeartbeatInterval)
 	}
 	return t, nil
+}
+
+// SetTracer attaches the distributed trace plane: every subsequent barrier
+// is dispatched with transport.RoundFlagTrace, each worker's barrier-local
+// records are merged into tr as "node-%d" subtrees in ascending worker
+// order, and supervision transitions become mark events. A nil tr detaches
+// (the default; the barrier path then adds zero cost). Do not attach a
+// per-request tracer to a transport shared across concurrent requests — the
+// merged subtrees would interleave across requests.
+func (t *Transport) SetTracer(tr *trace.Tracer) {
+	t.mu.Lock()
+	t.tracer = tr
+	t.mu.Unlock()
+}
+
+// SetFlight attaches the flight recorder: transport events (barrier
+// commits, kills, restarts, replays) are recorded into f, and on an
+// unrecoverable failure the ring is dumped to dumpPath (empty: no file; the
+// ring is still readable via Flight.Events/Handler). A nil f detaches.
+func (t *Transport) SetFlight(f *trace.Flight, dumpPath string) {
+	t.mu.Lock()
+	t.flight = f
+	t.flightDump = dumpPath
+	t.mu.Unlock()
+}
+
+// Flight returns the attached flight recorder (nil when detached).
+func (t *Transport) Flight() *trace.Flight {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flight
+}
+
+// dumpFlight writes the flight ring to the configured dump path; the
+// unrecoverable-failure path. Called under mu.
+func (t *Transport) dumpFlight() {
+	if t.flight == nil || t.flightDump == "" {
+		return
+	}
+	if err := t.flight.DumpFile(t.flightDump); err != nil {
+		fmt.Fprintf(t.opts.Stderr, "tcp: writing flight dump: %v\n", err)
+	} else {
+		fmt.Fprintf(t.opts.Stderr, "tcp: flight dump written to %s\n", t.flightDump)
+	}
 }
 
 // boot spawns the full worker set for the current epoch and bootstraps the
@@ -390,12 +439,16 @@ func (t *Transport) teardownWorkers() {
 // the next epoch. Called under mu.
 func (t *Transport) restartMesh() error {
 	t.rec.Restarts++
+	t.tracer.Mark("mesh-teardown", t.round, t.epoch, -1)
+	t.flight.Record(trace.FlightEvent{Kind: "mesh-teardown", Barrier: t.round, Epoch: t.epoch, Node: -1})
 	t.teardownWorkers()
 	t.epoch++
 	fmt.Fprintf(t.opts.Stderr, "tcp: restarting mesh (epoch %d, restart %d)\n", t.epoch, t.rec.Restarts)
 	if err := t.boot(); err != nil {
 		return err
 	}
+	t.tracer.Mark("mesh-respawn", t.round, t.epoch, -1)
+	t.flight.Record(trace.FlightEvent{Kind: "mesh-respawn", Barrier: t.round, Epoch: t.epoch, Node: -1})
 	return nil
 }
 
@@ -411,6 +464,8 @@ func (t *Transport) executeKills(rc uint64) {
 		}
 		t.killed[k] = true
 		t.rec.Kills++
+		t.tracer.Mark("chaos-kill", rc, t.epoch, p)
+		t.flight.Record(trace.FlightEvent{Kind: "kill", Barrier: rc, Epoch: t.epoch, Node: p})
 		fmt.Fprintf(t.opts.Stderr, "tcp: chaos: killing worker %d before barrier %d\n", p, rc)
 		if t.cmds != nil && t.cmds[p] != nil {
 			t.cmds[p].Process.Kill()
@@ -495,45 +550,90 @@ func (t *Transport) Deliver(_ int, n int, out []cc.Outbox) ([][]cc.Message, cc.D
 
 	t.executeKills(rc)
 
+	traced := t.tracer != nil
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if t.meshDown && t.opts.Supervise {
 			if rerr := t.restartMesh(); rerr != nil {
+				t.flight.Record(trace.FlightEvent{Kind: "unrecoverable", Barrier: rc, Epoch: t.epoch, Node: -1, Detail: rerr.Error()})
+				t.dumpFlight()
 				return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: restarting mesh for barrier %d: %w", rc, rerr)
 			}
 			if attempt > 0 {
 				// Replaying a failed attempt: the checkpoint contract says
 				// the inputs must be exactly what the failed attempt saw.
 				if d := digestRound(perProc); d != inDigest {
+					t.flight.Record(trace.FlightEvent{Kind: "replay-digest-mismatch", Barrier: rc, Epoch: t.epoch, Node: -1})
+					t.dumpFlight()
 					return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: barrier %d input digest changed across replay (%#x != %#x)", rc, d, inDigest)
 				}
 				t.rec.ReplayedBarriers++
+				t.tracer.Mark("replay", rc, t.epoch, -1)
+				t.flight.Record(trace.FlightEvent{Kind: "replay", Barrier: rc, Epoch: t.epoch, Node: -1})
 			}
 		}
-		inboxes, stats, shardDigests, err := t.deliverOnce(rc, n, perProc, dc, total)
+		inboxes, stats, shardDigests, recs, err := t.deliverOnce(rc, n, perProc, dc, total, traced)
 		if err == nil {
+			// Only the committed attempt's worker records reach the trace:
+			// a failed attempt's mesh is torn down with its partial spans,
+			// so the merged timeline stays deterministic for a fixed kill
+			// schedule. Merge order is the contract: ascending worker
+			// index, each worker's records in open sequence.
+			for p := 0; p < len(recs); p++ {
+				t.tracer.Merge(fmt.Sprintf("node-%d", p), recs[p])
+			}
+			if attempt > 0 {
+				t.tracer.Mark("replay-verified", rc, t.epoch, -1)
+				t.flight.Record(trace.FlightEvent{Kind: "replay-verified", Barrier: rc, Epoch: t.epoch, Node: -1})
+			}
 			t.commit(rc, inDigest, shardDigests, stats)
+			t.flight.Record(trace.FlightEvent{
+				Kind: "barrier-commit", Barrier: rc, Epoch: t.epoch, Node: -1,
+				Messages: stats.Messages, Frames: stats.Frames,
+				Retransmits: stats.Retransmits, Acks: stats.Acks,
+			})
 			return inboxes, stats, nil
 		}
 		lastErr = err
 		t.meshDown = true
+		// The mark carries only the barrier/epoch position — error text is
+		// wall-clock-shaped (which syscall lost the race varies) and
+		// belongs in the flight recorder.
+		t.tracer.Mark("barrier-failed", rc, t.epoch, -1)
+		t.flight.Record(trace.FlightEvent{Kind: "barrier-attempt-failed", Barrier: rc, Epoch: t.epoch, Node: -1, Detail: err.Error()})
 		if !t.opts.Supervise {
 			return nil, cc.DeliveryStats{}, lastErr
 		}
 		if attempt >= t.opts.MaxRestarts {
+			t.flight.Record(trace.FlightEvent{Kind: "unrecoverable", Barrier: rc, Epoch: t.epoch, Node: -1, Detail: lastErr.Error()})
+			t.dumpFlight()
 			return nil, cc.DeliveryStats{}, fmt.Errorf("tcp: barrier %d failed after %d mesh restarts: %w", rc, t.opts.MaxRestarts, lastErr)
 		}
 		fmt.Fprintf(t.opts.Stderr, "tcp: barrier %d attempt %d failed: %v\n", rc, attempt, lastErr)
 	}
 }
 
+// readWorker reads one frame from a worker's coordinator connection,
+// surfacing a FrameError as the worker's own failure description.
+func (t *Transport) readWorker(p int, rc uint64) (*transport.Frame, error) {
+	f, err := transport.ReadFrame(t.rds[p])
+	if err != nil {
+		return nil, fmt.Errorf("tcp: reading from worker %d in round %d: %w", p, rc, err)
+	}
+	if f.Type == transport.FrameError {
+		return nil, fmt.Errorf("tcp: worker %d failed in round %d: %s", p, rc, f.Addr)
+	}
+	return f, nil
+}
+
 // deliverOnce runs one delivery attempt for one barrier against the current
-// mesh: dispatch the Round frames, collect every worker's inbox shard, and
-// assemble the per-destination inboxes. With a BarrierTimeout every
-// coordinator connection carries an absolute deadline for the attempt, so a
-// dead worker surfaces as an error here instead of stalling the coordinator
-// through the workers' full retransmission schedule.
-func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc []int, total int) ([][]cc.Message, cc.DeliveryStats, []uint64, error) {
+// mesh: dispatch the Round frames, collect every worker's inbox shard (each
+// preceded by a trace frame when traced), and assemble the per-destination
+// inboxes. With a BarrierTimeout every coordinator connection carries an
+// absolute deadline for the attempt, so a dead worker surfaces as an error
+// here instead of stalling the coordinator through the workers' full
+// retransmission schedule.
+func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc []int, total int, traced bool) ([][]cc.Message, cc.DeliveryStats, []uint64, [][]trace.Rec, error) {
 	if t.opts.BarrierTimeout > 0 {
 		deadline := time.Now().Add(t.opts.BarrierTimeout)
 		for _, conn := range t.conns {
@@ -547,11 +647,15 @@ func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc 
 			}
 		}()
 	}
+	var flags uint32
+	if traced {
+		flags = transport.RoundFlagTrace
+	}
 	for p := 0; p < t.procs; p++ {
 		if _, err := transport.WriteFrame(t.conns[p], &transport.Frame{
-			Type: transport.FrameRound, Round: rc, Msgs: perProc[p],
+			Type: transport.FrameRound, Round: rc, Flags: flags, Msgs: perProc[p],
 		}); err != nil {
-			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: sending round %d to worker %d: %w", rc, p, err)
+			return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: sending round %d to worker %d: %w", rc, p, err)
 		}
 	}
 
@@ -559,17 +663,31 @@ func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc 
 	// connections but reading sequentially is fine: TCP buffers them.
 	shards := make([][]transport.Msg, t.procs)
 	shardDigests := make([]uint64, t.procs)
+	var recs [][]trace.Rec
+	if traced {
+		recs = make([][]trace.Rec, t.procs)
+	}
 	stats := cc.DeliveryStats{Messages: int64(total)}
 	for p := 0; p < t.procs; p++ {
-		f, err := transport.ReadFrame(t.rds[p])
+		f, err := t.readWorker(p, rc)
 		if err != nil {
-			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: reading inbox of worker %d in round %d: %w", p, rc, err)
+			return nil, cc.DeliveryStats{}, nil, nil, err
 		}
-		if f.Type == transport.FrameError {
-			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d failed in round %d: %s", p, rc, f.Addr)
+		if traced {
+			if f.Type != transport.FrameTrace || f.Round != rc {
+				return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of trace for round %d", p, f.Type, f.Round, rc)
+			}
+			rr, derr := trace.DecodeRecs(f.Blob)
+			if derr != nil {
+				return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: decoding trace records of worker %d in round %d: %w", p, rc, derr)
+			}
+			recs[p] = rr
+			if f, err = t.readWorker(p, rc); err != nil {
+				return nil, cc.DeliveryStats{}, nil, nil, err
+			}
 		}
 		if f.Type != transport.FrameInbox || f.Round != rc {
-			return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of inbox for round %d", p, f.Type, f.Round, rc)
+			return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: worker %d sent frame type %d (round %d) instead of inbox for round %d", p, f.Type, f.Round, rc)
 		}
 		shards[p] = f.Msgs
 		shardDigests[p] = digestMsgs(splitmix64(uint64(p)), f.Msgs)
@@ -593,20 +711,20 @@ func (t *Transport) deliverOnce(rc uint64, n int, perProc [][]transport.Msg, dc 
 	for p := 0; p < t.procs; p++ {
 		for _, wm := range shards[p] {
 			if wm.To < 0 || int(wm.To) >= n {
-				return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: worker %d delivered recipient %d out of range", p, wm.To)
+				return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: worker %d delivered recipient %d out of range", p, wm.To)
 			}
 			inboxes[wm.To] = append(inboxes[wm.To], cc.Message{From: int(wm.From), Data: wm.Data})
 			got++
 		}
 	}
 	if got != total {
-		return nil, cc.DeliveryStats{}, nil, fmt.Errorf("tcp: round %d delivered %d of %d messages", rc, got, total)
+		return nil, cc.DeliveryStats{}, nil, nil, fmt.Errorf("tcp: round %d delivered %d of %d messages", rc, got, total)
 	}
 	for d := 0; d < n; d++ {
 		msgs := inboxes[d]
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
 	}
-	return inboxes, stats, shardDigests, nil
+	return inboxes, stats, shardDigests, recs, nil
 }
 
 // commit seals a barrier: advance the round counter, fold the attempt's
@@ -653,6 +771,10 @@ func (t *Transport) heartbeatLoop(interval time.Duration) {
 			if err := t.pingAll(interval); err != nil {
 				t.rec.HeartbeatFailures++
 				t.meshDown = true
+				// Flight only, no trace mark: the heartbeat races the
+				// solver's barriers, so a mark here would break the traced
+				// stream's byte determinism.
+				t.flight.Record(trace.FlightEvent{Kind: "heartbeat-failure", Barrier: t.round, Epoch: t.epoch, Node: -1, Detail: err.Error()})
 				fmt.Fprintf(t.opts.Stderr, "tcp: heartbeat: %v\n", err)
 				if rerr := t.restartMesh(); rerr != nil {
 					fmt.Fprintf(t.opts.Stderr, "tcp: mesh restart after heartbeat failure: %v\n", rerr)

@@ -1,0 +1,62 @@
+package tcp
+
+import (
+	"io"
+	"testing"
+
+	"lapcc/internal/cc"
+	"lapcc/internal/trace"
+)
+
+// barrierAllocsPerDeliver measures steady-state coordinator-side heap
+// allocations of one Deliver barrier over a warm 2-worker in-process mesh
+// with a small fixed payload.
+func barrierAllocsPerDeliver(t *testing.T, attach func(*Transport)) float64 {
+	t.Helper()
+	const n = 4
+	tr, err := New(Options{Procs: 2, HeartbeatInterval: -1, Stderr: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if attach != nil {
+		attach(tr)
+	}
+
+	arena := []int64{1, 2, 3, 4}
+	out := []cc.Outbox{
+		{Msgs: []cc.OutMsg{{From: 0, To: 2, Off: 0, Width: 2}}, Arena: arena},
+		{Msgs: []cc.OutMsg{{From: 2, To: 0, Off: 2, Width: 2}}, Arena: arena},
+	}
+	deliver := func() {
+		if _, _, err := tr.Deliver(0, n, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deliver() // warm connections and reusable buffers
+	return testing.AllocsPerRun(30, deliver)
+}
+
+// TestBarrierTraceZeroAllocOverhead pins the trace plane's disabled-cost
+// contract on the TCP barrier path: a nil tracer and an attached flight
+// recorder each add zero steady-state allocations per Deliver. (An enabled
+// tracer allocates spans by design and is excluded; Flight.Record writes
+// plain values into a pre-sized ring, so even the *enabled* recorder is
+// free.) The in-process mesh still crosses real sockets, so the baseline
+// figure is whatever the socket path costs — only the deltas are pinned.
+func TestBarrierTraceZeroAllocOverhead(t *testing.T) {
+	disabled := barrierAllocsPerDeliver(t, nil)
+	detached := barrierAllocsPerDeliver(t, func(tr *Transport) {
+		tr.SetTracer(nil)
+		tr.SetFlight(nil, "")
+	})
+	flight := barrierAllocsPerDeliver(t, func(tr *Transport) {
+		tr.SetFlight(trace.NewFlight(64), "")
+	})
+	if detached > disabled {
+		t.Fatalf("explicitly detached tracer/flight allocates %.0f objects vs %.0f untouched; want zero overhead", detached, disabled)
+	}
+	if flight > disabled {
+		t.Fatalf("enabled flight recorder allocates %.0f objects vs %.0f disabled; want zero overhead", flight, disabled)
+	}
+}
